@@ -1,0 +1,318 @@
+// Benchmarks: one per table and figure of the paper (see the
+// experiment index in DESIGN.md), plus micro-benchmarks of the two
+// simulators' inner loops. Benchmark scales are reduced so the whole
+// suite runs in seconds; the cmd tools run the same drivers at
+// quick/paper scale.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/bandwidth"
+	"repro/internal/cyclesim"
+	"repro/internal/design"
+	"repro/internal/exp"
+	"repro/internal/game"
+	"repro/internal/gossip"
+	"repro/internal/pra"
+	"repro/internal/swarm"
+)
+
+// benchCfg is the reduced PRA configuration shared by the figure
+// benchmarks.
+func benchCfg() pra.Config {
+	return pra.Config{Peers: 16, Rounds: 60, PerfRuns: 1, EncounterRuns: 1, Opponents: 8, Seed: 1}
+}
+
+// benchProtocols is a small representative protocol set.
+func benchProtocols() []design.Protocol {
+	ps := []design.Protocol{
+		design.BitTorrent(), design.Birds(), design.LoyalWhenNeeded(),
+		design.SortS(), design.MostRobustCandidate(), design.Freerider(),
+	}
+	all := design.Enumerate()
+	for i := 0; i < len(all); i += 300 {
+		ps = append(ps, all[i])
+	}
+	return ps
+}
+
+// benchSweep memoises one sweep for the figure-extraction benchmarks.
+var benchSweepCache *exp.SweepResult
+
+func benchSweep(b *testing.B) *exp.SweepResult {
+	b.Helper()
+	if benchSweepCache == nil {
+		r, err := exp.Sweep(benchProtocols(), benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSweepCache = r
+	}
+	return benchSweepCache
+}
+
+// BenchmarkFig1Games measures the Section 2.1 game analysis: building
+// the BitTorrent and Birds dilemmas and finding dominance and Nash
+// equilibria.
+func BenchmarkFig1Games(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bt, err := game.BitTorrentDilemma(100, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		birds, err := game.BirdsDilemma(100, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = bt.PureNash()
+		_ = birds.PureNash()
+		bt.DominantRow(game.Defect)
+		birds.DominantCol(game.Defect)
+	}
+}
+
+// BenchmarkTable1NashModel measures the Section 2.2 analytical model
+// plus the Appendix deviation analysis over the full default grid.
+func BenchmarkTable1NashModel(b *testing.B) {
+	grid := analytic.DefaultGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analytic.CheckBTNash(grid); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := analytic.CheckBirdsNash(grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Sweep measures the full PRA pipeline (performance sweep
+// plus robustness and aggressiveness tournaments) that generates the
+// Figure 2 scatter, at reduced scale.
+func BenchmarkFig2Sweep(b *testing.B) {
+	ps := benchProtocols()[:6]
+	cfg := benchCfg()
+	cfg.Opponents = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Sweep(ps, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Heat measures the Figure 3 performance-by-k extraction.
+func BenchmarkFig3Heat(b *testing.B) {
+	r := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Fig3(10)
+	}
+}
+
+// BenchmarkFig4Heat measures the Figure 4 robustness-by-k extraction.
+func BenchmarkFig4Heat(b *testing.B) {
+	r := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Fig4(10)
+	}
+}
+
+// BenchmarkFig5CCDF measures the Figure 5 stranger-policy CCDFs.
+func BenchmarkFig5CCDF(b *testing.B) {
+	r := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Fig5()
+	}
+}
+
+// BenchmarkFig6Fig7Groups measures the Figures 6-7 group extraction.
+func BenchmarkFig6Fig7Groups(b *testing.B) {
+	r := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Fig6()
+		_ = r.Fig7()
+	}
+}
+
+// BenchmarkFig8Pearson measures the Figure 8 correlation.
+func BenchmarkFig8Pearson(b *testing.B) {
+	r := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := r.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Regression measures the three OLS fits of Table 3
+// (dummy coding, QR factorisation, inference).
+func BenchmarkTable3Regression(b *testing.B) {
+	r := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := r.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidate9010 measures the §4.3.2 90-10 robustness
+// validation tournament.
+func BenchmarkValidate9010(b *testing.B) {
+	r := benchSweep(b)
+	cfg := benchCfg()
+	cfg.Opponents = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := r.Validate9010(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurnSweep measures the §4.4 churn sensitivity experiment.
+func BenchmarkChurnSweep(b *testing.B) {
+	ps := benchProtocols()[:6]
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ChurnSweep(ps, []float64{0.01}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSwarmCfg is a reduced swarm setup for the Figure 9-10 benches.
+func benchSwarmCfg() swarm.Config {
+	cfg := swarm.Default()
+	cfg.FileKiB = 1024
+	cfg.PieceKiB = 128
+	return cfg
+}
+
+// BenchmarkFig9aEncounters measures the Figure 9(a) series
+// (Loyal-When-needed vs BitTorrent) at reduced scale.
+func BenchmarkFig9aEncounters(b *testing.B) {
+	cfg := benchSwarmCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9a(12, 1, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9bEncounters measures Figure 9(b) (Birds vs BitTorrent).
+func BenchmarkFig9bEncounters(b *testing.B) {
+	cfg := benchSwarmCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9b(12, 1, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9cEncounters measures Figure 9(c) (Loyal-When-needed vs
+// Birds).
+func BenchmarkFig9cEncounters(b *testing.B) {
+	cfg := benchSwarmCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9c(12, 1, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Homogeneous measures the Figure 10 homogeneous-swarm
+// comparison across all five client variants.
+func BenchmarkFig10Homogeneous(b *testing.B) {
+	cfg := benchSwarmCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig10(12, 1, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCyclesimRun measures the Section 4.3.1 cycle simulator at
+// paper scale (50 peers, 500 rounds): the unit of work behind the 107
+// million runs of the full PRA quantification.
+func BenchmarkCyclesimRun(b *testing.B) {
+	caps := bandwidth.Piatek().Stratified(50)
+	specs := make([]cyclesim.PeerSpec, 50)
+	for i := range specs {
+		specs[i] = cyclesim.PeerSpec{Protocol: design.BitTorrent(), Capacity: caps[i]}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cyclesim.Run(specs, cyclesim.Options{Rounds: 500, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncounter measures a single 50/50 PRA encounter at paper
+// scale.
+func BenchmarkEncounter(b *testing.B) {
+	cfg := pra.Paper()
+	cfg.Seed = 1
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pra.Encounter(design.BitTorrent(), design.Freerider(), 0.5, cfg, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwarmRun measures one paper-scale swarm run (50 leechers,
+// 5 MiB file): the unit of work of the Section 5 validation.
+func BenchmarkSwarmRun(b *testing.B) {
+	clients := make([]swarm.Client, 50)
+	for i := range clients {
+		clients[i] = swarm.ClientBT
+	}
+	cfg := swarm.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := swarm.Run(clients, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGossipRun measures one gossip-domain run (the Section 3.1 /
+// Section 7 extension).
+func BenchmarkGossipRun(b *testing.B) {
+	p := gossip.Protocol{Selection: gossip.SelBest, Period: 1, Fanout: 2,
+		Filter: gossip.FilterNewest, Record: gossip.RecordKeepAll}
+	protos := make([]gossip.Protocol, 30)
+	for i := range protos {
+		protos[i] = p
+	}
+	opt := gossip.DefaultOptions()
+	opt.Nodes = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i)
+		if _, err := gossip.Run(protos, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDesignEnumerate measures enumeration of the 3270-protocol
+// space with ID round-trips.
+func BenchmarkDesignEnumerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		all := design.Enumerate()
+		if design.ID(all[len(all)-1]) != design.SpaceSize-1 {
+			b.Fatal("enumeration broken")
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Command dsa-report renders the paper's figures and tables from a
+// dsa-sweep CSV (Figures 2-8 and Table 3) or by running the extra
+// simulations they need (90-10 validation, churn sensitivity).
+//
+// Usage:
+//
+//	dsa-report -in results.csv fig2|fig3|fig4|fig5|fig6|fig7|fig8|table3|top
+//	dsa-report validate|churn   [-preset quick] [-stride N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/design"
+	"repro/internal/exp"
+	"repro/internal/pra"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsa-report: ")
+	var (
+		in     = flag.String("in", "results.csv", "CSV produced by dsa-sweep")
+		preset = flag.String("preset", "quick", "quick or paper (validate/churn)")
+		stride = flag.Int("stride", 30, "protocol stride for validate/churn")
+		seed   = flag.Int64("seed", 1, "master seed for validate/churn")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: dsa-report [flags] fig2|fig3|fig4|fig5|fig6|fig7|fig8|table3|top|validate|churn")
+	}
+	what := flag.Arg(0)
+
+	switch what {
+	case "validate", "churn":
+		runSimBacked(what, *preset, *stride, *seed)
+		return
+	}
+
+	res, err := load(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	switch what {
+	case "fig2":
+		xs, ys := res.Fig2()
+		fmt.Fprintf(w, "Figure 2: Robustness vs Performance, %d protocols\n", len(xs))
+		if err := report.Scatter(w, xs, ys, 72, 24, "Robustness", "Performance"); err != nil {
+			log.Fatal(err)
+		}
+	case "fig3", "fig4":
+		const bins = 10
+		h := res.Fig3(bins)
+		label := "Performance"
+		if what == "fig4" {
+			h = res.Fig4(bins)
+			label = "Robustness"
+		}
+		fmt.Fprintf(w, "Figure %s: %s histograms by partner count (columns k=0..9)\n", what[3:], label)
+		err := report.Heat(w, h.RowNormalized, bins, design.MaxPartners+1, func(b int) string {
+			return fmt.Sprintf("%.1f-%.1f", float64(b)/bins, float64(b+1)/bins)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "fig5":
+		curves := res.Fig5()
+		fmt.Fprintln(w, "Figure 5: CCDF of Robustness by stranger policy")
+		names := make([]string, 0, len(curves))
+		for name := range curves {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s:\n", name)
+			for _, pt := range thin(curves[name], 8) {
+				fmt.Fprintf(w, "  P(R > %.3f) = %.3f\n", pt.X, pt.P)
+			}
+		}
+	case "fig6", "fig7":
+		pts := res.Fig6()
+		title := "allocation policy"
+		if what == "fig7" {
+			pts = res.Fig7()
+			title = "ranking function"
+		}
+		fmt.Fprintf(w, "Figure %s: Robustness by %s (mean / max)\n", what[3:], title)
+		renderGroups(w, pts)
+	case "fig8":
+		_, _, pearson, err := res.Fig8()
+		if err != nil {
+			log.Fatal(err)
+		}
+		xs, ys, _, _ := res.Fig8()
+		fmt.Fprintf(w, "Figure 8: Robustness vs Aggressiveness, Pearson r = %.3f (paper: 0.96)\n", pearson)
+		if err := report.Scatter(w, xs, ys, 72, 24, "Robustness", "Aggressiveness"); err != nil {
+			log.Fatal(err)
+		}
+	case "table3":
+		perf, rob, agg, err := res.Table3()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "Table 3: OLS over %d protocols (adj R²: P=%.2f R=%.2f A=%.2f)\n",
+			len(res.Protocols), perf.AdjR2, rob.AdjR2, agg.AdjR2)
+		tbl := report.NewTable("variable", "P est", "P t", "P sig", "R est", "R t", "R sig", "A est", "A t", "A sig")
+		for _, c := range perf.Coefficients {
+			rc, ac := rob.Coef(c.Name), agg.Coef(c.Name)
+			tbl.Add(c.Name,
+				c.Estimate, c.TValue, sig(c.Significant(0.001)),
+				rc.Estimate, rc.TValue, sig(rc.Significant(0.001)),
+				ac.Estimate, ac.TValue, sig(ac.Significant(0.001)))
+		}
+		if err := tbl.Render(w); err != nil {
+			log.Fatal(err)
+		}
+	case "top":
+		renderTop(w, res)
+	default:
+		log.Fatalf("unknown report %q", what)
+	}
+}
+
+func sig(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "-"
+}
+
+// load parses a dsa-sweep CSV back into a SweepResult.
+func load(path string) (*exp.SweepResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return exp.ReadCSV(f)
+}
+
+func thin(pts []stats.CCDFPoint, n int) []stats.CCDFPoint {
+	if len(pts) <= n {
+		return pts
+	}
+	out := make([]stats.CCDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pts[i*len(pts)/n])
+	}
+	return out
+}
+
+func renderGroups(w *os.File, pts []exp.GroupPoint) {
+	sums := map[string]float64{}
+	maxs := map[string]float64{}
+	counts := map[string]int{}
+	for _, p := range pts {
+		sums[p.Group] += p.Robustness
+		counts[p.Group]++
+		if p.Robustness > maxs[p.Group] {
+			maxs[p.Group] = p.Robustness
+		}
+	}
+	names := make([]string, 0, len(sums))
+	for n := range sums {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tbl := report.NewTable("group", "n", "mean R", "max R")
+	for _, n := range names {
+		tbl.Add(n, counts[n], sums[n]/float64(counts[n]), maxs[n])
+	}
+	if err := tbl.Render(w); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func renderTop(w *os.File, res *exp.SweepResult) {
+	type row struct {
+		p    design.Protocol
+		perf float64
+		rob  float64
+	}
+	rows := make([]row, len(res.Protocols))
+	for i, p := range res.Protocols {
+		rows[i] = row{p, res.Scores.Performance[i], res.Scores.Robustness[i]}
+	}
+	byPerf := append([]row(nil), rows...)
+	sort.Slice(byPerf, func(a, b int) bool { return byPerf[a].perf > byPerf[b].perf })
+	byRob := append([]row(nil), rows...)
+	sort.Slice(byRob, func(a, b int) bool { return byRob[a].rob > byRob[b].rob })
+	fmt.Fprintln(w, "Top 10 by Performance:")
+	for _, r := range byPerf[:min(10, len(byPerf))] {
+		fmt.Fprintf(w, "  P=%.4f R=%.4f  %s\n", r.perf, r.rob, r.p)
+	}
+	fmt.Fprintln(w, "Top 10 by Robustness:")
+	for _, r := range byRob[:min(10, len(byRob))] {
+		fmt.Fprintf(w, "  P=%.4f R=%.4f  %s\n", r.perf, r.rob, r.p)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// runSimBacked handles the reports that need fresh simulation: the
+// 90-10 robustness validation and the churn sensitivity check.
+func runSimBacked(what, preset string, stride int, seed int64) {
+	var cfg pra.Config
+	switch preset {
+	case "quick":
+		cfg = pra.Quick()
+	case "paper":
+		cfg = pra.Paper()
+	default:
+		log.Fatalf("unknown preset %q", preset)
+	}
+	cfg.Seed = seed
+	all := design.Enumerate()
+	var protos []design.Protocol
+	for i := 0; i < len(all); i += stride {
+		protos = append(protos, all[i])
+	}
+	switch what {
+	case "validate":
+		res, err := exp.Sweep(protos, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, _, pearson, err := res.Validate9010(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("50-50 vs 90-10 robustness over %d protocols: Pearson r = %.3f (paper: 0.97)\n",
+			len(protos), pearson)
+	case "churn":
+		pts, err := exp.ChurnSweep(protos, []float64{0, 0.01, 0.1}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl := report.NewTable("churn", "k=0", "k=1", "k=2", "k=3", "k=4", "k=5", "k=6", "k=7", "k=8", "k=9")
+		for _, pt := range pts {
+			cells := []interface{}{pt.Churn}
+			for _, v := range pt.MeanPerfK {
+				cells = append(cells, v)
+			}
+			tbl.Add(cells...)
+		}
+		fmt.Println("Mean normalised performance by partner count under churn (§4.4):")
+		if err := tbl.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command dsa-sweep runs the PRA quantification over the file-swarming
+// design space and writes a CSV consumed by dsa-report.
+//
+// Usage:
+//
+//	dsa-sweep [-preset quick|paper] [-stride N] [-opponents N]
+//	          [-peers N] [-rounds N] [-perfruns N] [-encruns N]
+//	          [-seed N] [-out results.csv] [-explore]
+//
+// The quick preset reproduces the shape of Figures 2-8 and Table 3 in
+// minutes on a laptop; the paper preset is the full 107-million-run
+// experiment of Section 4.3 (the authors used 25 hours on a 50-node
+// cluster — plan accordingly). -stride N evaluates every Nth protocol,
+// shrinking the protocol set itself. -explore additionally runs the
+// Section 7 heuristic explorers (hill climbing and evolutionary search)
+// against homogeneous performance and prints what they find.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/exp"
+	"repro/internal/pra"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsa-sweep: ")
+	var (
+		preset    = flag.String("preset", "quick", "quick or paper")
+		stride    = flag.Int("stride", 1, "evaluate every Nth protocol of the 3270")
+		opponents = flag.Int("opponents", -1, "opponent panel size (0 = full round-robin)")
+		peers     = flag.Int("peers", 0, "population size override")
+		rounds    = flag.Int("rounds", 0, "rounds per run override")
+		perfRuns  = flag.Int("perfruns", 0, "performance runs override")
+		encRuns   = flag.Int("encruns", 0, "encounter runs override")
+		seed      = flag.Int64("seed", 1, "master seed")
+		out       = flag.String("out", "results.csv", "output CSV path")
+		explore   = flag.Bool("explore", false, "also run the heuristic explorers")
+	)
+	flag.Parse()
+
+	var cfg pra.Config
+	switch *preset {
+	case "quick":
+		cfg = pra.Quick()
+	case "paper":
+		cfg = pra.Paper()
+	default:
+		log.Fatalf("unknown preset %q", *preset)
+	}
+	cfg.Seed = *seed
+	if *opponents >= 0 {
+		cfg.Opponents = *opponents
+	}
+	if *peers > 0 {
+		cfg.Peers = *peers
+	}
+	if *rounds > 0 {
+		cfg.Rounds = *rounds
+	}
+	if *perfRuns > 0 {
+		cfg.PerfRuns = *perfRuns
+	}
+	if *encRuns > 0 {
+		cfg.EncounterRuns = *encRuns
+	}
+	if *stride < 1 {
+		log.Fatal("stride must be >= 1")
+	}
+
+	all := design.Enumerate()
+	var protos []design.Protocol
+	for i := 0; i < len(all); i += *stride {
+		protos = append(protos, all[i])
+	}
+	log.Printf("sweeping %d protocols (%s preset, %d peers, %d rounds, %d opponents)",
+		len(protos), *preset, cfg.Peers, cfg.Rounds, cfg.Opponents)
+
+	start := time.Now()
+	res, err := exp.Sweep(protos, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sweep done in %v", time.Since(start).Round(time.Second))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.WriteCSV(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d rows)", *out, len(res.Protocols))
+
+	if *explore {
+		runExplorers(cfg)
+	}
+}
+
+// runExplorers demonstrates the Section 7 heuristic exploration against
+// homogeneous performance, with a shared memoised objective.
+func runExplorers(cfg pra.Config) {
+	space := core.FileSwarmingSpace()
+	perfCfg := cfg
+	perfCfg.PerfRuns = 1
+	obj := func(pt core.Point) (float64, error) {
+		proto, err := core.PointProtocol(pt)
+		if err != nil {
+			return 0, err
+		}
+		raw, err := pra.PerformanceSweep([]design.Protocol{proto}, perfCfg)
+		if err != nil {
+			return 0, err
+		}
+		return raw[0], nil
+	}
+	hc, hcCalls, err := core.HillClimb(space, obj, core.HillClimbConfig{Restarts: 3, MaxSteps: 30, Seed: cfg.Seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hcProto, _ := core.PointProtocol(hc.Point)
+	fmt.Printf("hill climb: %s  raw=%.1f KiB/s  (%d objective calls vs %d exhaustive)\n",
+		hcProto, hc.Score, hcCalls, design.SpaceSize)
+	ev, evCalls, err := core.Evolve(space, obj, core.EvolveConfig{Population: 24, Generations: 12, Seed: cfg.Seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	evProto, _ := core.PointProtocol(ev.Point)
+	fmt.Printf("evolution:  %s  raw=%.1f KiB/s  (%d objective calls)\n", evProto, ev.Score, evCalls)
+}

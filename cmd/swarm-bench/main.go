@@ -1,0 +1,101 @@
+// Command swarm-bench regenerates the Section 5 validation figures on
+// the piece-level swarm simulator: the three competitive-encounter
+// panels of Figure 9 and the homogeneous-swarm comparison of Figure 10.
+//
+// Usage:
+//
+//	swarm-bench [-leechers 50] [-runs 10] [-seed 1] fig9a|fig9b|fig9c|fig10|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/report"
+	"repro/internal/swarm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swarm-bench: ")
+	var (
+		leechers = flag.Int("leechers", 50, "leechers per swarm")
+		runs     = flag.Int("runs", 10, "runs per data point")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: swarm-bench [flags] fig9a|fig9b|fig9c|fig10|all")
+	}
+	cfg := swarm.Default()
+	cfg.Seed = *seed
+
+	what := flag.Arg(0)
+	run := func(name string) {
+		switch name {
+		case "fig9a":
+			series("Figure 9(a): Loyal-When-needed vs BitTorrent", exp.Fig9a, *leechers, *runs, cfg)
+		case "fig9b":
+			series("Figure 9(b): Birds vs BitTorrent", exp.Fig9b, *leechers, *runs, cfg)
+		case "fig9c":
+			series("Figure 9(c): Loyal-When-needed vs Birds", exp.Fig9c, *leechers, *runs, cfg)
+		case "fig10":
+			fig10(*leechers, *runs, cfg)
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+	}
+	if what == "all" {
+		for _, name := range []string{"fig9a", "fig9b", "fig9c", "fig10"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(what)
+}
+
+func series(title string, f func(int, int, swarm.Config) ([]swarm.MixPoint, error), n, runs int, cfg swarm.Config) {
+	pts, err := f(n, runs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(title)
+	tbl := report.NewTable("fraction A", "A mean (s)", "A ±95%", "B mean (s)", "B ±95%")
+	for _, p := range pts {
+		aMean, aHalf := fmtCI(p.TimeA.Mean, p.TimeA.Half, p.CountA > 0)
+		bMean, bHalf := fmtCI(p.TimeB.Mean, p.TimeB.Half, p.CountA < n)
+		tbl.Add(p.FracA, aMean, aHalf, bMean, bHalf)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func fmtCI(mean, half float64, present bool) (string, string) {
+	if !present {
+		return "-", "-"
+	}
+	return fmt.Sprintf("%.1f", mean), fmt.Sprintf("%.1f", half)
+}
+
+func fig10(n, runs int, cfg swarm.Config) {
+	out, err := exp.Fig10(n, runs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 10: average download times, homogeneous swarms")
+	labels := make([]string, 0, len(exp.Fig10Clients))
+	values := make([]float64, 0, len(exp.Fig10Clients))
+	for _, c := range exp.Fig10Clients {
+		ci := out[c]
+		labels = append(labels, fmt.Sprintf("%s (±%.1f)", c, ci.Half))
+		values = append(values, ci.Mean)
+	}
+	if err := report.HBar(os.Stdout, labels, values, 40); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validParams() Params { return Params{NA: 20, NB: 15, NC: 15, Ur: 4} }
+
+func TestValidate(t *testing.T) {
+	if err := validParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{NA: 20, NB: 10, NC: 10, Ur: 0}, // Ur < 1
+		{NA: 3, NB: 10, NC: 10, Ur: 4},  // NA <= Ur
+		{NA: 20, NB: 10, NC: 4, Ur: 4},  // NC too small
+		{NA: 20, NB: -1, NC: 10, Ur: 4}, // negative NB
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, p)
+		}
+	}
+}
+
+func TestNr(t *testing.T) {
+	p := Params{NA: 10, NB: 5, NC: 8, Ur: 4}
+	if got := p.Nr(); got != 10+5+8-4-1 {
+		t.Errorf("Nr = %d", got)
+	}
+}
+
+func TestBitTorrentWinsStructure(t *testing.T) {
+	p := validParams()
+	w, err := BitTorrent(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Er[A→c] = 0: higher classes never reciprocate down.
+	if w.RecipA != 0 {
+		t.Errorf("RecipA = %v, want 0", w.RecipA)
+	}
+	// E[A→c] = NA/Nr.
+	if want := float64(p.NA) / float64(p.Nr()); w.FreeA != want {
+		t.Errorf("FreeA = %v, want %v", w.FreeA, want)
+	}
+	// Er[B→c] = E[B→c] = NB/Nr.
+	if want := float64(p.NB) / float64(p.Nr()); w.RecipB != want || w.FreeB != want {
+		t.Errorf("B wins = %v/%v, want %v", w.RecipB, w.FreeB, want)
+	}
+	// Equation (1): Er[C→c] = Ur - E[A→c] - K with K in (0,1).
+	k := 1 - math.Pow((1-w.FreeA)*(1-0.25), 4)
+	if want := 4 - w.FreeA - k; !close(w.RecipC, want) {
+		t.Errorf("RecipC = %v, want %v", w.RecipC, want)
+	}
+	if w.RecipC >= float64(p.Ur) {
+		t.Error("BT within-class reciprocation must be < Ur (relationships break)")
+	}
+	// E[C→c] = (NC-1-Er[C→c])/Nr.
+	if want := (float64(p.NC-1) - w.RecipC) / float64(p.Nr()); !close(w.FreeC, want) {
+		t.Errorf("FreeC = %v, want %v", w.FreeC, want)
+	}
+}
+
+func TestBirdsWinsStructure(t *testing.T) {
+	p := validParams()
+	w, err := Birds(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.RecipA != 0 || w.RecipB != 0 {
+		t.Error("Birds reciprocates only within its class")
+	}
+	if w.RecipC != float64(p.Ur) {
+		t.Errorf("RecipC = %v, want Ur", w.RecipC)
+	}
+	if want := (float64(p.NC-1) - float64(p.Ur)) / float64(p.Nr()); !close(w.FreeC, want) {
+		t.Errorf("FreeC = %v, want %v", w.FreeC, want)
+	}
+}
+
+func TestBirdsBeatsBTWithinClass(t *testing.T) {
+	// The heart of Section 2.3: Birds keeps all Ur within-class
+	// partnerships, BT loses some to higher-class temptation.
+	for _, p := range DefaultGrid() {
+		bt, err := BitTorrent(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		birds, err := Birds(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if birds.RecipC <= bt.RecipC {
+			t.Fatalf("params %+v: Birds RecipC %v should exceed BT %v", p, birds.RecipC, bt.RecipC)
+		}
+	}
+}
+
+func TestBTNotNashEquilibrium(t *testing.T) {
+	// Appendix, part 1: "the peer using the Birds protocol, on
+	// average, wins more games than any of the BT clients, proving
+	// that BT is not a NE." Must hold over the whole default grid.
+	v, err := CheckBTNash(DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Checked == 0 {
+		t.Fatal("empty grid")
+	}
+	// The deviation is profitable in the overwhelming majority of
+	// configurations. A handful of degenerate corners (NC at the
+	// validation boundary with a lower-class-dominated population,
+	// NB >> NA+NC) fall outside the paper's implicit assumptions; see
+	// EXPERIMENTS.md. A single profitable deviation suffices to break
+	// the equilibrium, so BT is not a NE either way.
+	if frac := float64(v.Profitable) / float64(v.Checked); frac < 0.95 {
+		t.Errorf("Birds deviation profitable in only %d/%d configs", v.Profitable, v.Checked)
+	}
+	if v.IsEquilibrium() {
+		t.Error("BT must not be a Nash equilibrium")
+	}
+	if v.MaxGain <= 0 {
+		t.Errorf("max gain = %v, want > 0", v.MaxGain)
+	}
+	// In every balanced configuration (lower classes not dominating),
+	// the deviation gains, exactly as the Appendix derives.
+	for _, p := range DefaultGrid() {
+		if p.NB >= p.NA+p.NC {
+			continue
+		}
+		d, err := BirdsDeviantInBT(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Gain() <= 0 {
+			t.Errorf("balanced config %+v: gain = %v, want > 0", p, d.Gain())
+		}
+	}
+}
+
+func TestBirdsIsNashEquilibrium(t *testing.T) {
+	// Appendix, part 2: a BT deviant in a Birds swarm never gains.
+	v, err := CheckBirdsNash(DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsEquilibrium() {
+		t.Errorf("Birds should be a NE; %d/%d deviations profitable (max gain %v)",
+			v.Profitable, v.Checked, v.MaxGain)
+	}
+	if v.MaxGain >= 0 {
+		t.Errorf("max gain = %v, want < 0 (strictly unprofitable)", v.MaxGain)
+	}
+}
+
+func TestDeviationGainSign(t *testing.T) {
+	p := validParams()
+	d, err := BirdsDeviantInBT(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Gain() <= 0 {
+		t.Errorf("Birds deviant gain = %v, want > 0", d.Gain())
+	}
+	d2, err := BTDeviantInBirds(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Gain() >= 0 {
+		t.Errorf("BT deviant gain = %v, want < 0", d2.Gain())
+	}
+}
+
+func TestWinsTotal(t *testing.T) {
+	w := Wins{RecipA: 1, FreeA: 2, RecipB: 3, FreeB: 4, RecipC: 5, FreeC: 6}
+	if w.Total() != 21 {
+		t.Errorf("Total = %v", w.Total())
+	}
+}
+
+func TestInvalidParamsPropagate(t *testing.T) {
+	bad := Params{NA: 1, NB: 1, NC: 1, Ur: 4}
+	if _, err := BitTorrent(bad); err == nil {
+		t.Error("BitTorrent should propagate validation error")
+	}
+	if _, err := Birds(bad); err == nil {
+		t.Error("Birds should propagate validation error")
+	}
+	if _, err := BirdsDeviantInBT(bad); err == nil {
+		t.Error("BirdsDeviantInBT should propagate validation error")
+	}
+	if _, err := BTDeviantInBirds(bad); err == nil {
+		t.Error("BTDeviantInBirds should propagate validation error")
+	}
+	if _, err := CheckBTNash([]Params{bad}); err == nil {
+		t.Error("CheckBTNash should propagate validation error")
+	}
+}
+
+func TestKBreakBounds(t *testing.T) {
+	// K and K' are probabilities: always within (0,1) for valid params,
+	// and K >= K' since K covers one more partner.
+	f := func(na, nb, nc, ur uint8) bool {
+		p := Params{
+			NA: int(na%60) + 5, NB: int(nb % 40),
+			NC: int(nc%60) + 6, Ur: int(ur%4) + 1,
+		}
+		if p.Validate() != nil {
+			return true
+		}
+		k, kp := p.kBreak(), p.kBreakPrime()
+		// With Ur=1 the (1-1/Ur) factor vanishes and K is exactly 1:
+		// a single partnership always breaks under temptation.
+		return k > 0 && k <= 1 && kp >= 0 && kp < 1 && k >= kp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeWinsScaleWithUpperClass(t *testing.T) {
+	// More peers above c → more free game wins from above.
+	small := Params{NA: 10, NB: 10, NC: 10, Ur: 4}
+	large := Params{NA: 40, NB: 10, NC: 10, Ur: 4}
+	ws, err := BitTorrent(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := BitTorrent(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.FreeA <= ws.FreeA {
+		t.Errorf("FreeA should grow with NA: %v vs %v", wl.FreeA, ws.FreeA)
+	}
+}
+
+func TestDefaultGridAllValid(t *testing.T) {
+	grid := DefaultGrid()
+	if len(grid) < 100 {
+		t.Errorf("grid unexpectedly small: %d", len(grid))
+	}
+	for _, p := range grid {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("grid contains invalid params %+v: %v", p, err)
+		}
+	}
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-12 }

@@ -1,0 +1,172 @@
+package bandwidth
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestPiatekShape(t *testing.T) {
+	d := Piatek()
+	if m := d.Median(); m != 50 {
+		t.Errorf("median = %v, want 50", m)
+	}
+	if q := d.SampleQ(0.10); q != 10 {
+		t.Errorf("p10 = %v, want 10", q)
+	}
+	if q := d.SampleQ(0.99); q != 5000 {
+		t.Errorf("p99 = %v, want 5000", q)
+	}
+	// Heavy tail: mean far above median.
+	xs := d.Stratified(10000)
+	if mean := stats.Mean(xs); mean < 2*d.Median() {
+		t.Errorf("mean %v should exceed 2×median %v (heavy tail)", mean, d.Median())
+	}
+}
+
+func TestSampleQInterpolation(t *testing.T) {
+	d, err := New([]Point{{0, 0}, {1, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 0}, {0.5, 50}, {1, 100}, {-1, 0}, {2, 100}, {0.25, 25},
+	} {
+		if got := d.SampleQ(c.q); got != c.want {
+			t.Errorf("SampleQ(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := [][]Point{
+		{{0, 1}},                             // too few
+		{{0.1, 1}, {1, 2}},                   // doesn't start at 0
+		{{0, 1}, {0.9, 2}},                   // doesn't end at 1
+		{{0, 1}, {0.6, 2}, {0.5, 3}, {1, 4}}, // Q not sorted
+		{{0, 5}, {1, 2}},                     // capacity decreasing
+	}
+	for i, pts := range cases {
+		if _, err := New(pts); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform(64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if v := d.Sample(rng); v != 64 {
+			t.Fatalf("uniform sample = %v", v)
+		}
+	}
+}
+
+func TestTwoClass(t *testing.T) {
+	d, err := TwoClass(10, 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := d.Stratified(100)
+	slow, fast := 0, 0
+	for _, x := range xs {
+		switch x {
+		case 10:
+			slow++
+		case 100:
+			fast++
+		default:
+			t.Fatalf("unexpected capacity %v", x)
+		}
+	}
+	if slow != 50 || fast != 50 {
+		t.Errorf("split = %d/%d, want 50/50", slow, fast)
+	}
+	if _, err := TwoClass(10, 100, 0); err == nil {
+		t.Error("fracSlow 0 should error")
+	}
+	if _, err := TwoClass(10, 100, 1); err == nil {
+		t.Error("fracSlow 1 should error")
+	}
+}
+
+func TestStratifiedIsSortedAndDeterministic(t *testing.T) {
+	d := Piatek()
+	a := d.Stratified(50)
+	b := d.Stratified(50)
+	if !sort.Float64sAreSorted(a) {
+		t.Error("stratified sample should be sorted")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("stratified sampling should be deterministic")
+		}
+	}
+}
+
+func TestSampleWithinSupportProperty(t *testing.T) {
+	d := Piatek()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			v := d.Sample(rng)
+			if v < 4 || v > 10000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	d := Piatek()
+	rng := rand.New(rand.NewSource(9))
+	xs := d.SampleN(rng, 17)
+	if len(xs) != 17 {
+		t.Fatalf("len = %d", len(xs))
+	}
+}
+
+func TestInverseCDFMonotoneProperty(t *testing.T) {
+	d := Piatek()
+	prev := d.SampleQ(0)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		v := d.SampleQ(q)
+		if v < prev {
+			t.Fatalf("inverse CDF not monotone at q=%v", q)
+		}
+		prev = v
+	}
+}
+
+func TestClassify(t *testing.T) {
+	d := Piatek()
+	classes := d.Classify([]float64{5, 50, 9000})
+	if classes[0] != Slow || classes[2] != Fast {
+		t.Errorf("classes = %v", classes)
+	}
+	// Class string rendering.
+	if Slow.String() != "slow" || Medium.String() != "medium" || Fast.String() != "fast" {
+		t.Error("class names wrong")
+	}
+	if Class(42).String() == "" {
+		t.Error("unknown class should still render")
+	}
+}
+
+func TestClassifyTerciles(t *testing.T) {
+	d := Uniform(10)
+	// With a degenerate distribution everything is <= tercile → Slow.
+	for _, c := range d.Classify([]float64{10, 10}) {
+		if c != Slow {
+			t.Errorf("uniform classify = %v", c)
+		}
+	}
+}

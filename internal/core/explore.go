@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Objective scores a point; higher is better. Implementations are
+// expected to be deterministic (memoise stochastic simulations behind
+// fixed seeds) so explorers are reproducible.
+type Objective func(Point) (float64, error)
+
+// Evaluation pairs a point with its score.
+type Evaluation struct {
+	Point Point
+	Score float64
+}
+
+// ExhaustiveBest evaluates every valid point — the paper's parameter
+// sweep — and returns all evaluations sorted best-first plus the best.
+// This is the "systematic analysis" path of Section 3.1; the heuristic
+// explorers below are the Section 7 alternative for spaces too large to
+// sweep.
+func ExhaustiveBest(s *Space, obj Objective) ([]Evaluation, error) {
+	pts := s.Enumerate()
+	if len(pts) == 0 {
+		return nil, errors.New("core: space has no valid points")
+	}
+	evals := make([]Evaluation, len(pts))
+	for i, p := range pts {
+		sc, err := obj(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: objective at %v: %w", p, err)
+		}
+		evals[i] = Evaluation{Point: p, Score: sc}
+	}
+	sort.SliceStable(evals, func(a, b int) bool { return evals[a].Score > evals[b].Score })
+	return evals, nil
+}
+
+// HillClimbConfig tunes the hill-climbing explorer.
+type HillClimbConfig struct {
+	Restarts int   // independent restarts from random valid points (>=1)
+	MaxSteps int   // step cap per restart (>=1)
+	Seed     int64 // RNG seed for restart points
+}
+
+// HillClimb performs steepest-ascent hill climbing with random
+// restarts: from a random valid point, repeatedly move to the best
+// strictly-improving single-dimension neighbour until none exists.
+// Returns the best evaluation found and the number of objective calls.
+func HillClimb(s *Space, obj Objective, cfg HillClimbConfig) (Evaluation, int, error) {
+	if cfg.Restarts < 1 || cfg.MaxSteps < 1 {
+		return Evaluation{}, 0, errors.New("core: HillClimb needs Restarts >= 1 and MaxSteps >= 1")
+	}
+	pts := s.Enumerate()
+	if len(pts) == 0 {
+		return Evaluation{}, 0, errors.New("core: space has no valid points")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cache := map[string]float64{}
+	calls := 0
+	eval := func(p Point) (float64, error) {
+		if v, ok := cache[p.Key()]; ok {
+			return v, nil
+		}
+		v, err := obj(p)
+		if err != nil {
+			return 0, err
+		}
+		calls++
+		cache[p.Key()] = v
+		return v, nil
+	}
+
+	var best Evaluation
+	haveBest := false
+	for r := 0; r < cfg.Restarts; r++ {
+		cur := pts[rng.Intn(len(pts))]
+		curScore, err := eval(cur)
+		if err != nil {
+			return Evaluation{}, calls, err
+		}
+		for step := 0; step < cfg.MaxSteps; step++ {
+			improved := false
+			bestN := cur
+			bestNScore := curScore
+			for _, nb := range s.Neighbors(cur) {
+				sc, err := eval(nb)
+				if err != nil {
+					return Evaluation{}, calls, err
+				}
+				if sc > bestNScore {
+					bestN, bestNScore = nb, sc
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+			cur, curScore = bestN, bestNScore
+		}
+		if !haveBest || curScore > best.Score {
+			best = Evaluation{Point: cur, Score: curScore}
+			haveBest = true
+		}
+	}
+	return best, calls, nil
+}
+
+// EvolveConfig tunes the evolutionary explorer.
+type EvolveConfig struct {
+	Population  int     // individuals per generation (>=2)
+	Generations int     // generations to run (>=1)
+	MutationP   float64 // per-dimension mutation probability (default 0.2 if 0)
+	Elite       int     // individuals carried over unchanged (default 1 if 0)
+	Seed        int64
+}
+
+// Evolve runs a (μ+λ)-style evolutionary search: tournament selection,
+// uniform crossover, per-dimension mutation, constraint repair by
+// resampling. Returns the best evaluation found and objective calls.
+func Evolve(s *Space, obj Objective, cfg EvolveConfig) (Evaluation, int, error) {
+	if cfg.Population < 2 || cfg.Generations < 1 {
+		return Evaluation{}, 0, errors.New("core: Evolve needs Population >= 2 and Generations >= 1")
+	}
+	if cfg.MutationP <= 0 {
+		cfg.MutationP = 0.2
+	}
+	if cfg.Elite <= 0 {
+		cfg.Elite = 1
+	}
+	pts := s.Enumerate()
+	if len(pts) == 0 {
+		return Evaluation{}, 0, errors.New("core: space has no valid points")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cache := map[string]float64{}
+	calls := 0
+	eval := func(p Point) (float64, error) {
+		if v, ok := cache[p.Key()]; ok {
+			return v, nil
+		}
+		v, err := obj(p)
+		if err != nil {
+			return 0, err
+		}
+		calls++
+		cache[p.Key()] = v
+		return v, nil
+	}
+	randPoint := func() Point { return pts[rng.Intn(len(pts))] }
+
+	pop := make([]Evaluation, cfg.Population)
+	for i := range pop {
+		p := randPoint()
+		sc, err := eval(p)
+		if err != nil {
+			return Evaluation{}, calls, err
+		}
+		pop[i] = Evaluation{Point: p, Score: sc}
+	}
+	sortPop := func() {
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].Score > pop[b].Score })
+	}
+	sortPop()
+
+	pick := func() Evaluation { // binary tournament
+		a, b := pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))]
+		if a.Score >= b.Score {
+			return a
+		}
+		return b
+	}
+
+	for g := 0; g < cfg.Generations; g++ {
+		next := make([]Evaluation, 0, cfg.Population)
+		next = append(next, pop[:cfg.Elite]...)
+		for len(next) < cfg.Population {
+			ma, pa := pick(), pick()
+			child := make(Point, len(ma.Point))
+			for d := range child {
+				if rng.Intn(2) == 0 {
+					child[d] = ma.Point[d]
+				} else {
+					child[d] = pa.Point[d]
+				}
+				if rng.Float64() < cfg.MutationP {
+					child[d] = rng.Intn(len(s.Dimensions[d].Values))
+				}
+			}
+			if !s.Valid(child) {
+				child = randPoint() // constraint repair: resample
+			}
+			sc, err := eval(child)
+			if err != nil {
+				return Evaluation{}, calls, err
+			}
+			next = append(next, Evaluation{Point: child, Score: sc})
+		}
+		pop = next
+		sortPop()
+	}
+	return pop[0], calls, nil
+}
+
+// ParetoFront returns the indices of the points on the maximal Pareto
+// front of two objectives (both maximised) — the Performance/Robustness
+// trade-off frontier of Section 4.4 ("there will often be a trade-off
+// between them"). Indices are returned in input order.
+func ParetoFront(xs, ys []float64) []int {
+	if len(xs) != len(ys) {
+		return nil
+	}
+	var front []int
+	for i := range xs {
+		dominated := false
+		for j := range xs {
+			if j == i {
+				continue
+			}
+			if xs[j] >= xs[i] && ys[j] >= ys[i] && (xs[j] > xs[i] || ys[j] > ys[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}

@@ -1,0 +1,159 @@
+// Package core is the Design Space Analysis framework of Section 3: it
+// separates the *specification* of a design space (Parameterization:
+// naming the salient dimensions; Actualization: listing concrete values
+// per dimension) from its *analysis* by a solution concept.
+//
+// The package is domain-agnostic: a Space is a constrained cartesian
+// product of named dimensions, an Objective maps points to scores, and
+// solution concepts (exhaustive sweep, and the heuristic explorers the
+// paper proposes as future work in Section 7 — hill climbing and an
+// evolutionary search) work on any Space. The file-swarming space of
+// Section 4 and the gossip space of Section 3.1 are both expressed in
+// these terms (see FileSwarmingSpace and the gossip package).
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dimension is one salient design dimension (Parameterization) together
+// with its concrete values (Actualization).
+type Dimension struct {
+	Name   string
+	Values []string
+}
+
+// Point is a vector of value indices, one per dimension.
+type Point []int
+
+// Space is a constrained cartesian product of dimensions. Constraint
+// (optional) rejects invalid combinations; rejected points are excluded
+// from enumeration and never passed to objectives.
+type Space struct {
+	Name       string
+	Dimensions []Dimension
+	Constraint func(Point) bool
+
+	valid []Point // lazily built canonical enumeration
+}
+
+// NewSpace builds a space after validating the dimensions.
+func NewSpace(name string, dims []Dimension, constraint func(Point) bool) (*Space, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("core: space %q needs at least one dimension", name)
+	}
+	for _, d := range dims {
+		if len(d.Values) == 0 {
+			return nil, fmt.Errorf("core: dimension %q has no values", d.Name)
+		}
+	}
+	return &Space{Name: name, Dimensions: dims, Constraint: constraint}, nil
+}
+
+// RawSize returns the unconstrained cartesian product size.
+func (s *Space) RawSize() int {
+	n := 1
+	for _, d := range s.Dimensions {
+		n *= len(d.Values)
+	}
+	return n
+}
+
+// Enumerate returns every valid point in lexicographic order. The
+// result is cached and must not be mutated.
+func (s *Space) Enumerate() []Point {
+	if s.valid != nil {
+		return s.valid
+	}
+	var out []Point
+	p := make(Point, len(s.Dimensions))
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(s.Dimensions) {
+			if s.Constraint == nil || s.Constraint(p) {
+				cp := make(Point, len(p))
+				copy(cp, p)
+				out = append(out, cp)
+			}
+			return
+		}
+		for v := range s.Dimensions[d].Values {
+			p[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	s.valid = out
+	return out
+}
+
+// Size returns the number of valid points.
+func (s *Space) Size() int { return len(s.Enumerate()) }
+
+// Describe renders a point as "dim=value" pairs.
+func (s *Space) Describe(p Point) string {
+	parts := make([]string, len(p))
+	for d, v := range p {
+		parts[d] = s.Dimensions[d].Name + "=" + s.Dimensions[d].Values[v]
+	}
+	return strings.Join(parts, " ")
+}
+
+// Valid reports whether p satisfies dimension bounds and the constraint.
+func (s *Space) Valid(p Point) bool {
+	if len(p) != len(s.Dimensions) {
+		return false
+	}
+	for d, v := range p {
+		if v < 0 || v >= len(s.Dimensions[d].Values) {
+			return false
+		}
+	}
+	return s.Constraint == nil || s.Constraint(p)
+}
+
+// Neighbors returns all valid points that differ from p in exactly one
+// dimension — the move set of the hill-climbing explorer.
+func (s *Space) Neighbors(p Point) []Point {
+	var out []Point
+	for d := range s.Dimensions {
+		for v := range s.Dimensions[d].Values {
+			if v == p[d] {
+				continue
+			}
+			q := make(Point, len(p))
+			copy(q, p)
+			q[d] = v
+			if s.Valid(q) {
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// Key returns a map key for a point.
+func (p Point) Key() string {
+	var b strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// Equal reports whether two points are identical.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/design"
+)
+
+// FileSwarmingSpace expresses the Section 4.2 design space in the
+// generic Space form: six dimensions with the canonical-zero
+// constraints, yielding exactly design.SpaceSize (3270) valid points.
+func FileSwarmingSpace() *Space {
+	dims := []Dimension{
+		{Name: "stranger", Values: []string{"None", "Periodic", "WhenNeeded", "Defect"}},
+		{Name: "h", Values: []string{"0", "1", "2", "3"}},
+		{Name: "candidates", Values: []string{"TFT", "TF2T"}},
+		{Name: "ranking", Values: []string{"Fastest", "Slowest", "Proximity", "Adaptive", "Loyal", "Random"}},
+		{Name: "k", Values: []string{"0", "1", "2", "3", "4", "5", "6", "7", "8", "9"}},
+		{Name: "allocation", Values: []string{"EqualSplit", "PropShare", "Freeride"}},
+	}
+	s, err := NewSpace("p2p-file-swarming", dims, func(p Point) bool {
+		_, err := PointProtocol(p)
+		return err == nil
+	})
+	if err != nil {
+		panic("core: file swarming space: " + err.Error())
+	}
+	return s
+}
+
+// PointProtocol converts a FileSwarmingSpace point into the design
+// package's Protocol, enforcing the same canonical-form rules.
+func PointProtocol(p Point) (design.Protocol, error) {
+	if len(p) != 6 {
+		return design.Protocol{}, fmt.Errorf("core: file-swarming point needs 6 coords, got %d", len(p))
+	}
+	proto := design.Protocol{
+		Stranger:   design.StrangerKind(p[0]),
+		H:          p[1],
+		Candidate:  design.CandidateKind(p[2]),
+		Ranking:    design.RankingKind(p[3]),
+		K:          p[4],
+		Allocation: design.AllocationKind(p[5]),
+	}
+	if err := proto.Validate(); err != nil {
+		return design.Protocol{}, err
+	}
+	return proto, nil
+}
+
+// ProtocolPoint converts a design.Protocol into a FileSwarmingSpace
+// point (the inverse of PointProtocol for valid protocols).
+func ProtocolPoint(proto design.Protocol) Point {
+	return Point{
+		int(proto.Stranger),
+		proto.H,
+		int(proto.Candidate),
+		int(proto.Ranking),
+		proto.K,
+		int(proto.Allocation),
+	}
+}
+
+// ParseValue is a helper for tools mapping dimension value strings back
+// to indices.
+func ParseValue(d Dimension, value string) (int, error) {
+	for i, v := range d.Values {
+		if v == value {
+			return i, nil
+		}
+	}
+	if n, err := strconv.Atoi(value); err == nil && n >= 0 && n < len(d.Values) {
+		return n, nil
+	}
+	return 0, fmt.Errorf("core: dimension %q has no value %q", d.Name, value)
+}

@@ -1,0 +1,524 @@
+// Package cyclesim implements the cycle-based simulation model of
+// Section 4.3.1: time proceeds in rounds; in each round every peer
+// selects partners from its candidate list (built from recent
+// interactions), divides its upload capacity among them according to
+// its resource-allocation policy, and deals with strangers according to
+// its stranger policy. Every peer maintains a short history of others'
+// actions. Peer utility is download throughput.
+//
+// # Modeling decisions
+//
+// The paper leaves several micro-decisions open; the ones made here are
+// chosen to reproduce its reported dynamics and are ablated in the
+// benchmark suite:
+//
+//   - Slot provisioning. A peer provisions one upload pipe per partner
+//     slot (k) plus one per reserved stranger slot (h, for the Periodic
+//     policy), each carrying capacity/(k+h). Capacity in unfilled slots
+//     is wasted that round. This is what makes "peers rarely find
+//     themselves without a fully occupied partner set" (Section 4.4)
+//     matter: protocols that keep partner sets full perform better, and
+//     low-k protocols fill trivially.
+//   - Zero-byte contacts. A stranger contact always creates an
+//     observation on the receiving side, even when the Defect policy
+//     sends 0 bytes. The contacted peer therefore sees the contactor as
+//     a candidate with observed rate 0 — which under Sort Slowest ranks
+//     first. This reproduces the paper's Sort-S dynamics exactly.
+//   - Prop Share distributes only the provisioned pipes of *selected*
+//     partners (slotBW × selected), proportionally to bytes received in
+//     the candidate window; if nothing was received from any selected
+//     partner it gives nothing, reproducing the bootstrap failure the
+//     paper describes for Sort-S + Prop Share.
+//   - Churn replaces a peer with a fresh one (cleared history, new
+//     capacity draw) in place, keeping the population size constant.
+//
+// Everything is deterministic given Options.Seed.
+package cyclesim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bandwidth"
+	"repro/internal/design"
+)
+
+// PeerSpec describes one peer: the protocol it executes and its upload
+// capacity in KiB/s.
+type PeerSpec struct {
+	Protocol design.Protocol
+	Capacity float64
+}
+
+// Options configures a run.
+type Options struct {
+	Rounds int     // number of simulation rounds (paper: 500)
+	Seed   int64   // RNG seed; equal seeds give identical runs
+	Churn  float64 // per-peer per-round replacement probability (paper: 0, 0.01, 0.1)
+	// Replacement supplies capacities for churned-in peers. If nil,
+	// the replacement inherits the departed peer's capacity.
+	Replacement *bandwidth.Distribution
+}
+
+// Result holds the outcome of one run.
+type Result struct {
+	// Utility is each peer's mean download rate in KiB/s per round —
+	// the application-specific utility of Section 3.2.
+	Utility []float64
+	// Spent is each peer's mean upload rate actually sent per round;
+	// Capacity-Spent is bandwidth wasted in unfilled or defected slots.
+	Spent []float64
+	// Rounds echoes the simulated round count.
+	Rounds int
+}
+
+// Mean returns the population mean utility — the paper's "average
+// performance ... defined as throughput of the population".
+func (r Result) Mean() float64 {
+	if len(r.Utility) == 0 {
+		return 0
+	}
+	var s float64
+	for _, u := range r.Utility {
+		s += u
+	}
+	return s / float64(len(r.Utility))
+}
+
+// GroupMean returns the mean utility over peers whose index satisfies
+// the predicate — used by encounters to compare the two protocol camps.
+func (r Result) GroupMean(in func(i int) bool) float64 {
+	var s float64
+	n := 0
+	for i, u := range r.Utility {
+		if in(i) {
+			s += u
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// aspirationEMA is the smoothing factor of the Adaptive ranking's
+// aspiration level (Posch-style win-stay-lose-shift aspiration).
+const aspirationEMA = 0.2
+
+// stickRounds is how many rounds beyond the candidate window a silent
+// current partner remains selectable. See the package comment; ablated
+// in the benchmark suite.
+const stickRounds = 2
+
+// noContact marks a pair that has never interacted.
+const noContact = int32(-1 << 30)
+
+// world carries all mutable state of one run. Buffers are flat n×n
+// row-major slices indexed [receiver*n + giver]; they are allocated
+// once so the round loop is allocation-free.
+type world struct {
+	n     int
+	rng   *rand.Rand
+	specs []PeerSpec
+	caps  []float64
+
+	// recv1/recv2: bytes received in the last and second-to-last round.
+	recv1, recv2 []float64
+	// contact1/contact2: whether the giver contacted the receiver
+	// (possibly with 0 bytes) in the last / second-to-last round.
+	contact1, contact2 []bool
+	// streak counts consecutive rounds the receiver got >0 from giver.
+	streak []int32
+	// asp is the Adaptive ranking's aspiration level per peer.
+	asp []float64
+	// total accumulates received bytes per peer.
+	total []float64
+	// spent accumulates sent bytes per peer.
+	spent []float64
+
+	// give is the current round's planned transfer matrix
+	// [giver*n + receiver]; zeroContact marks zero-byte contacts.
+	give        []float64
+	zeroContact []bool
+	// partnerPrev/partnerCur mark [selector*n + partner] pairs chosen
+	// last round / this round. A current partner stays in the candidate
+	// list (at its observed rate, 0 if silent) for up to stickRounds
+	// beyond the candidate window after its last contact, so a peer
+	// with a settled partner rarely goes candidate-less — the bounded
+	// partner-stickiness that lets Sort-S peers "rarely find themselves
+	// without a fully occupied partner set" (Section 4.4) while still
+	// letting persistently silent partners expire, which keeps large
+	// partner sets genuinely hard to sustain (Figure 3's low-k
+	// advantage).
+	partnerPrev, partnerCur []bool
+	// lastContact[i*n+j] is the round index of j's most recent contact
+	// toward i (data or zero-byte), or noContact.
+	lastContact []int32
+	// round is the index of the round currently being simulated.
+	round int32
+
+	// scratch buffers for selection.
+	cand []int
+	keys []float64
+}
+
+// Run simulates peers for opt.Rounds rounds and returns per-peer
+// utilities. It panics only on programmer error (invalid protocols are
+// reported as an error instead).
+func Run(peers []PeerSpec, opt Options) (Result, error) {
+	n := len(peers)
+	if n < 2 {
+		return Result{}, fmt.Errorf("cyclesim: need at least 2 peers, got %d", n)
+	}
+	if opt.Rounds < 1 {
+		return Result{}, fmt.Errorf("cyclesim: rounds must be >= 1, got %d", opt.Rounds)
+	}
+	for i, p := range peers {
+		if err := p.Protocol.Validate(); err != nil {
+			return Result{}, fmt.Errorf("cyclesim: peer %d: %w", i, err)
+		}
+		if p.Capacity < 0 || math.IsNaN(p.Capacity) || math.IsInf(p.Capacity, 0) {
+			return Result{}, fmt.Errorf("cyclesim: peer %d has invalid capacity %v", i, p.Capacity)
+		}
+	}
+	w := newWorld(peers, opt.Seed)
+	for r := 0; r < opt.Rounds; r++ {
+		w.round = int32(r)
+		w.step()
+		if opt.Churn > 0 {
+			w.churn(opt.Churn, opt.Replacement)
+		}
+	}
+	res := Result{
+		Utility: make([]float64, n),
+		Spent:   make([]float64, n),
+		Rounds:  opt.Rounds,
+	}
+	for i := range res.Utility {
+		res.Utility[i] = w.total[i] / float64(opt.Rounds)
+		res.Spent[i] = w.spent[i] / float64(opt.Rounds)
+	}
+	return res, nil
+}
+
+func newWorld(peers []PeerSpec, seed int64) *world {
+	n := len(peers)
+	w := &world{
+		n:           n,
+		rng:         rand.New(rand.NewSource(seed)),
+		specs:       peers,
+		caps:        make([]float64, n),
+		recv1:       make([]float64, n*n),
+		recv2:       make([]float64, n*n),
+		contact1:    make([]bool, n*n),
+		contact2:    make([]bool, n*n),
+		streak:      make([]int32, n*n),
+		asp:         make([]float64, n),
+		total:       make([]float64, n),
+		spent:       make([]float64, n),
+		give:        make([]float64, n*n),
+		zeroContact: make([]bool, n*n),
+		partnerPrev: make([]bool, n*n),
+		partnerCur:  make([]bool, n*n),
+		lastContact: make([]int32, n*n),
+		cand:        make([]int, 0, n),
+		keys:        make([]float64, n),
+	}
+	for i, p := range peers {
+		w.caps[i] = p.Capacity
+		w.asp[i] = p.Capacity
+	}
+	for i := range w.lastContact {
+		w.lastContact[i] = noContact
+	}
+	return w
+}
+
+// slots returns the number of provisioned upload pipes for peer i's
+// protocol: k partner slots plus h reserved stranger slots under the
+// Periodic policy (BitTorrent's always-on optimistic unchokes).
+func slots(p design.Protocol) int {
+	s := p.K
+	if p.Stranger == design.Periodic {
+		s += p.H
+	}
+	return s
+}
+
+// step executes one simultaneous round.
+func (w *world) step() {
+	n := w.n
+	for i := range w.give {
+		w.give[i] = 0
+		w.zeroContact[i] = false
+		w.partnerCur[i] = false
+	}
+	for i := 0; i < n; i++ {
+		w.plan(i)
+	}
+	w.commit()
+}
+
+// plan decides peer i's uploads for this round into w.give.
+func (w *world) plan(i int) {
+	p := w.specs[i].Protocol
+	ns := slots(p)
+	if ns == 0 {
+		// k=0 and no reserved stranger slots: the peer may still make
+		// zero contacts? No — with no slots nothing is ever sent, and
+		// only DefectStrangers makes zero-byte contacts below when it
+		// has stranger activity. Handle the k=0 Defect case: contacts
+		// still happen (h >= 1), they just carry nothing.
+		if p.Stranger == design.DefectStrangers {
+			w.contactStrangers(i, p.H, 0)
+		}
+		return
+	}
+	slotBW := w.caps[i] / float64(ns)
+
+	selected := w.selectPartners(i, p)
+	for _, j := range selected {
+		w.partnerCur[i*w.n+j] = true
+	}
+
+	// Partner allocation.
+	switch p.Allocation {
+	case design.EqualSplit:
+		for _, j := range selected {
+			w.give[i*w.n+j] = slotBW
+		}
+	case design.PropShare:
+		var sum float64
+		for _, j := range selected {
+			sum += w.windowRecv(i, j, p.Candidate.Window())
+		}
+		if sum > 0 {
+			pool := slotBW * float64(len(selected))
+			for _, j := range selected {
+				wgt := w.windowRecv(i, j, p.Candidate.Window())
+				w.give[i*w.n+j] = pool * wgt / sum
+			}
+		}
+	case design.Freeride:
+		// Nothing for partners.
+	}
+
+	// Stranger policy.
+	switch p.Stranger {
+	case design.StrangerNone:
+		// No stranger interactions at all.
+	case design.Periodic:
+		w.contactStrangers(i, p.H, slotBW)
+	case design.WhenNeeded:
+		if vacant := p.K - len(selected); vacant > 0 {
+			hn := p.H
+			if hn > vacant {
+				hn = vacant
+			}
+			w.contactStrangers(i, hn, slotBW)
+		}
+	case design.DefectStrangers:
+		w.contactStrangers(i, p.H, 0)
+	}
+}
+
+// contactStrangers picks up to h distinct peers that i did not already
+// plan an upload to (and are not i) and sends each amount (possibly 0,
+// which still registers as a contact).
+func (w *world) contactStrangers(i, h int, amount float64) {
+	n := w.n
+	for s := 0; s < h; s++ {
+		// Rejection-sample a target; with small h and n >= 2 this
+		// terminates quickly. Bail out after n tries to stay bounded.
+		var j int
+		ok := false
+		for try := 0; try < n; try++ {
+			j = w.rng.Intn(n)
+			if j == i {
+				continue
+			}
+			if w.give[i*n+j] > 0 || w.zeroContact[i*n+j] {
+				continue // already serving this peer this round
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			return
+		}
+		if amount > 0 {
+			w.give[i*n+j] = amount
+		} else {
+			w.zeroContact[i*n+j] = true
+		}
+	}
+}
+
+// selectPartners builds peer i's candidate list, ranks it with the
+// protocol's ranking function and returns the top-k peer indices.
+func (w *world) selectPartners(i int, p design.Protocol) []int {
+	if p.K == 0 {
+		return nil
+	}
+	n := w.n
+	w.cand = w.cand[:0]
+	win := p.Candidate.Window()
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		if w.contacted(i, j, win) ||
+			(w.partnerPrev[i*n+j] && w.round-w.lastContact[i*n+j] <= int32(win+stickRounds)) {
+			w.cand = append(w.cand, j)
+		}
+	}
+	if len(w.cand) == 0 {
+		return nil
+	}
+
+	// Ranking keys: lower key = better rank.
+	switch p.Ranking {
+	case design.Fastest:
+		for _, j := range w.cand {
+			w.keys[j] = -w.windowRate(i, j, win)
+		}
+	case design.Slowest:
+		for _, j := range w.cand {
+			w.keys[j] = w.windowRate(i, j, win)
+		}
+	case design.Proximity:
+		// Birds' distance = |own upload speed - other's upload speed|.
+		// A peer observes others per-pipe, so it compares observed
+		// rates against its own per-slot bandwidth: in a homogeneous
+		// population both sides of the comparison are per-pipe speeds.
+		own := w.caps[i] / float64(slots(p))
+		for _, j := range w.cand {
+			w.keys[j] = math.Abs(w.windowRate(i, j, win) - own)
+		}
+	case design.Adaptive:
+		for _, j := range w.cand {
+			w.keys[j] = math.Abs(w.windowRate(i, j, win) - w.asp[i])
+		}
+	case design.Loyal:
+		for _, j := range w.cand {
+			w.keys[j] = -float64(w.streak[i*n+j])
+		}
+	case design.RandomRank:
+		w.rng.Shuffle(len(w.cand), func(a, b int) {
+			w.cand[a], w.cand[b] = w.cand[b], w.cand[a]
+		})
+	}
+	if p.Ranking != design.RandomRank {
+		cand := w.cand
+		keys := w.keys
+		lc := w.lastContact
+		sort.SliceStable(cand, func(a, b int) bool {
+			ka, kb := keys[cand[a]], keys[cand[b]]
+			if ka != kb {
+				return ka < kb
+			}
+			// Ties break toward the most recent contactor — the
+			// "immediately ... chooses p2" recency of Section 4.4 —
+			// then by index for determinism. Recency also spreads
+			// selections uniformly instead of piling onto low indices.
+			la, lb := lc[i*n+cand[a]], lc[i*n+cand[b]]
+			if la != lb {
+				return la > lb
+			}
+			return cand[a] < cand[b]
+		})
+	}
+	if len(w.cand) > p.K {
+		w.cand = w.cand[:p.K]
+	}
+	return w.cand
+}
+
+// contacted reports whether j interacted with i (sent bytes or a
+// zero-byte contact) within the last win rounds.
+func (w *world) contacted(i, j int, win int) bool {
+	idx := i*w.n + j
+	if w.recv1[idx] > 0 || w.contact1[idx] {
+		return true
+	}
+	if win >= 2 && (w.recv2[idx] > 0 || w.contact2[idx]) {
+		return true
+	}
+	return false
+}
+
+// windowRecv returns the bytes i received from j within the window.
+func (w *world) windowRecv(i, j, win int) float64 {
+	idx := i*w.n + j
+	s := w.recv1[idx]
+	if win >= 2 {
+		s += w.recv2[idx]
+	}
+	return s
+}
+
+// windowRate returns j's observed upload rate toward i over the window.
+func (w *world) windowRate(i, j, win int) float64 {
+	return w.windowRecv(i, j, win) / float64(win)
+}
+
+// commit applies the planned transfers: rotates history windows,
+// updates totals, streaks and aspiration levels.
+func (w *world) commit() {
+	n := w.n
+	// Rotate: last round becomes second-to-last.
+	w.recv1, w.recv2 = w.recv2, w.recv1
+	w.contact1, w.contact2 = w.contact2, w.contact1
+	w.partnerPrev, w.partnerCur = w.partnerCur, w.partnerPrev
+	for i := 0; i < n; i++ {
+		var got, givers float64
+		for j := 0; j < n; j++ {
+			idx := i*n + j
+			amt := w.give[j*n+i]
+			w.recv1[idx] = amt
+			w.contact1[idx] = amt > 0 || w.zeroContact[j*n+i]
+			if w.contact1[idx] {
+				w.lastContact[idx] = w.round
+			}
+			if amt > 0 {
+				w.streak[idx]++
+				got += amt
+				givers++
+			} else {
+				w.streak[idx] = 0
+			}
+			w.spent[j] += amt
+		}
+		w.total[i] += got
+		if givers > 0 {
+			w.asp[i] = (1-aspirationEMA)*w.asp[i] + aspirationEMA*(got/givers)
+		}
+	}
+}
+
+// churn replaces each peer with probability rate: history involving it
+// is cleared and (if dist is non-nil) its capacity is redrawn.
+func (w *world) churn(rate float64, dist *bandwidth.Distribution) {
+	n := w.n
+	for i := 0; i < n; i++ {
+		if w.rng.Float64() >= rate {
+			continue
+		}
+		if dist != nil {
+			w.caps[i] = dist.Sample(w.rng)
+		}
+		w.asp[i] = w.caps[i]
+		for j := 0; j < n; j++ {
+			w.recv1[i*n+j], w.recv2[i*n+j] = 0, 0
+			w.recv1[j*n+i], w.recv2[j*n+i] = 0, 0
+			w.contact1[i*n+j], w.contact2[i*n+j] = false, false
+			w.contact1[j*n+i], w.contact2[j*n+i] = false, false
+			w.streak[i*n+j], w.streak[j*n+i] = 0, 0
+			w.partnerPrev[i*n+j], w.partnerPrev[j*n+i] = false, false
+			w.lastContact[i*n+j], w.lastContact[j*n+i] = noContact, noContact
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package design
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceSizeMatchesPaper(t *testing.T) {
+	// Section 4.2: "the total number of unique protocols comes to
+	// 10 × 109 × 3 = 3270".
+	if NumStrangerPolicies != 10 {
+		t.Errorf("stranger policies = %d, want 10", NumStrangerPolicies)
+	}
+	if NumSelectionPolicies != 109 {
+		t.Errorf("selection policies = %d, want 109", NumSelectionPolicies)
+	}
+	if SpaceSize != 3270 {
+		t.Errorf("space size = %d, want 3270", SpaceSize)
+	}
+}
+
+func TestEnumerateAllValidAndUnique(t *testing.T) {
+	all := Enumerate()
+	if len(all) != SpaceSize {
+		t.Fatalf("enumerated %d, want %d", len(all), SpaceSize)
+	}
+	seen := make(map[string]bool, SpaceSize)
+	for i, p := range all {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("protocol %d invalid: %v", i, err)
+		}
+		s := p.String()
+		if seen[s] {
+			t.Fatalf("duplicate protocol %s at %d", s, i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	for id := 0; id < SpaceSize; id++ {
+		p, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ID(p); got != id {
+			t.Fatalf("ID(ByID(%d)) = %d", id, got)
+		}
+	}
+}
+
+func TestByIDOutOfRange(t *testing.T) {
+	if _, err := ByID(-1); err == nil {
+		t.Error("negative ID should error")
+	}
+	if _, err := ByID(SpaceSize); err == nil {
+		t.Error("ID == SpaceSize should error")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for id := 0; id < SpaceSize; id++ {
+		p, _ := ByID(id)
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p.String(), err)
+		}
+		if back != p {
+			t.Fatalf("round trip %q → %+v ≠ %+v", p.String(), back, p)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"B1h1-C1-I1k4",     // missing allocation
+		"X1h1-C1-I1k4-R1",  // bad stranger
+		"B9h1-C1-I1k4-R1",  // unknown stranger number
+		"B1h1-C9-I1k4-R1",  // bad candidate
+		"B1h1-C1-I7k4-R1",  // unknown ranking
+		"B1h1-C1-I1k4-R9",  // bad allocation
+		"B1hX-C1-I1k4-R1",  // non-numeric h
+		"B1h1-C1-I1kX-R1",  // non-numeric k
+		"B1h9-C1-I1k4-R1",  // h out of range (validate)
+		"B0h0-C2-I1k0-R1",  // non-canonical zero selection
+		"B1h1-C1-I1k10-R1", // k out of range
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestValidateCanonicalZeroPolicies(t *testing.T) {
+	ok := Protocol{Stranger: StrangerNone, H: 0, Candidate: TFT, Ranking: Fastest, K: 0, Allocation: Freeride}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("canonical zero protocol rejected: %v", err)
+	}
+	bad := ok
+	bad.Ranking = Loyal // non-canonical with k=0
+	if err := bad.Validate(); err == nil {
+		t.Error("non-canonical k=0 should be rejected")
+	}
+	bad2 := ok
+	bad2.H = 2 // StrangerNone with h>0
+	if err := bad2.Validate(); err == nil {
+		t.Error("StrangerNone with h>0 should be rejected")
+	}
+	bad3 := Protocol{Stranger: Periodic, H: 0, Candidate: TFT, Ranking: Fastest, K: 1}
+	if err := bad3.Validate(); err == nil {
+		t.Error("Periodic with h=0 should be rejected")
+	}
+}
+
+func TestNamedProtocolsAreInSpace(t *testing.T) {
+	for name, p := range Named() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+		id := ID(p)
+		if id < 0 || id >= SpaceSize {
+			t.Errorf("%s ID %d out of range", name, id)
+		}
+		back, _ := ByID(id)
+		if back != p {
+			t.Errorf("%s does not round-trip through ID", name)
+		}
+	}
+}
+
+func TestNamedProtocolProperties(t *testing.T) {
+	bt := BitTorrent()
+	if bt.Ranking != Fastest || bt.Allocation != EqualSplit || bt.Candidate != TFT {
+		t.Errorf("BitTorrent = %+v", bt)
+	}
+	birds := Birds()
+	if birds.Ranking != Proximity {
+		t.Error("Birds must rank by proximity")
+	}
+	if birds.Stranger != bt.Stranger || birds.K != bt.K {
+		t.Error("Birds should differ from BitTorrent only in ranking")
+	}
+	lwn := LoyalWhenNeeded()
+	if lwn.Ranking != Loyal || lwn.Stranger != WhenNeeded {
+		t.Errorf("LoyalWhenNeeded = %+v", lwn)
+	}
+	ss := SortS()
+	if ss.Ranking != Slowest || ss.K != 1 || ss.Stranger != DefectStrangers {
+		t.Errorf("SortS = %+v", ss)
+	}
+	if ss.Allocation == PropShare {
+		t.Error("SortS with PropShare would fail to bootstrap (Section 4.4)")
+	}
+	mr := MostRobustCandidate()
+	if mr.Stranger != WhenNeeded || mr.Ranking != Fastest || mr.Allocation != PropShare || mr.K != 7 {
+		t.Errorf("MostRobust = %+v", mr)
+	}
+	fr := Freerider()
+	if fr.K != 0 || fr.Stranger != StrangerNone || fr.Allocation != Freeride {
+		t.Errorf("Freerider = %+v", fr)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	p := Protocol{Stranger: WhenNeeded, H: 2, Candidate: TFT, Ranking: Loyal, K: 7, Allocation: PropShare}
+	if got := p.String(); got != "B2h2-C1-I5k7-R2" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Freerider().String(); got != "B0h0-C1-I1k0-R3" {
+		t.Errorf("Freerider String = %q", got)
+	}
+}
+
+func TestDescribeMentionsAllDimensions(t *testing.T) {
+	d := BitTorrent().Describe()
+	for _, want := range []string{"Periodic", "TFT", "Fastest", "EqualSplit"} {
+		if !contains(d, want) {
+			t.Errorf("Describe() = %q missing %q", d, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+func TestIDBijectionProperty(t *testing.T) {
+	// Property: random valid protocols round-trip ID ↔ Protocol.
+	f := func(str, h, cand, rank, k, alloc uint8) bool {
+		var p Protocol
+		p.Stranger = StrangerKind(int(str) % 4)
+		if p.Stranger == StrangerNone {
+			p.H = 0
+		} else {
+			p.H = int(h)%MaxStrangers + 1
+		}
+		p.K = int(k) % (MaxPartners + 1)
+		if p.K == 0 {
+			p.Candidate, p.Ranking = TFT, Fastest
+		} else {
+			p.Candidate = CandidateKind(int(cand) % 2)
+			p.Ranking = RankingKind(int(rank) % 6)
+		}
+		p.Allocation = AllocationKind(int(alloc) % 3)
+		if p.Validate() != nil {
+			return false // generator must always build valid protocols
+		}
+		back, err := ByID(ID(p))
+		return err == nil && back == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodeStrings(t *testing.T) {
+	if Periodic.Code() != "B1" || WhenNeeded.Code() != "B2" || DefectStrangers.Code() != "B3" || StrangerNone.Code() != "B0" {
+		t.Error("stranger codes wrong")
+	}
+	if TFT.Code() != "C1" || TF2T.Code() != "C2" {
+		t.Error("candidate codes wrong")
+	}
+	if Fastest.Code() != "I1" || RandomRank.Code() != "I6" {
+		t.Error("ranking codes wrong")
+	}
+	if EqualSplit.Code() != "R1" || Freeride.Code() != "R3" {
+		t.Error("allocation codes wrong")
+	}
+	if TFT.Window() != 1 || TF2T.Window() != 2 {
+		t.Error("candidate windows wrong")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 6 {
+		t.Fatalf("Table 2 rows = %d, want 6", len(rows))
+	}
+	systems := map[string]bool{}
+	for _, r := range rows {
+		if r.System == "" || r.StrangerPolicy == "" || r.SelectionFunction == "" {
+			t.Errorf("incomplete row %+v", r)
+		}
+		systems[r.System] = true
+	}
+	for _, want := range []string{"Maze [32]", "BarterCast [20]", "GTG [21]"} {
+		if !systems[want] {
+			t.Errorf("missing system %s", want)
+		}
+	}
+}

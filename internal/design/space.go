@@ -1,0 +1,153 @@
+package design
+
+import "fmt"
+
+// Space counts of the actualized design space (Section 4.2).
+const (
+	NumStrangerPolicies  = 1 + 3*MaxStrangers                                          // 10
+	NumSelectionPolicies = 1 + 2*6*MaxPartners                                         // 109
+	NumAllocations       = 3                                                           // R1-R3
+	SpaceSize            = NumStrangerPolicies * NumSelectionPolicies * NumAllocations // 3270
+)
+
+// strangerPolicyIndex returns the index of p's stranger policy in
+// [0, NumStrangerPolicies): 0 for none, then (B1,h1..h3), (B2,...), (B3,...).
+func strangerPolicyIndex(p Protocol) int {
+	if p.Stranger == StrangerNone {
+		return 0
+	}
+	kind := int(p.Stranger) - int(Periodic) // 0..2
+	return 1 + kind*MaxStrangers + (p.H - 1)
+}
+
+// selectionPolicyIndex returns the index of p's selection policy in
+// [0, NumSelectionPolicies): 0 for k=0, then C×I×k in row-major
+// (candidate, ranking, k) order.
+func selectionPolicyIndex(p Protocol) int {
+	if p.K == 0 {
+		return 0
+	}
+	c := int(p.Candidate) // 0..1
+	r := int(p.Ranking)   // 0..5
+	return 1 + (c*6+r)*MaxPartners + (p.K - 1)
+}
+
+// ID returns p's stable position in enumeration order, in [0, SpaceSize).
+// The inverse is ByID.
+func ID(p Protocol) int {
+	return (strangerPolicyIndex(p)*NumSelectionPolicies+selectionPolicyIndex(p))*NumAllocations + int(p.Allocation)
+}
+
+// ByID returns the protocol with the given enumeration ID.
+func ByID(id int) (Protocol, error) {
+	if id < 0 || id >= SpaceSize {
+		return Protocol{}, fmt.Errorf("design: ID %d out of range [0,%d)", id, SpaceSize)
+	}
+	alloc := id % NumAllocations
+	rest := id / NumAllocations
+	sel := rest % NumSelectionPolicies
+	str := rest / NumSelectionPolicies
+
+	var p Protocol
+	p.Allocation = AllocationKind(alloc)
+	if str == 0 {
+		p.Stranger, p.H = StrangerNone, 0
+	} else {
+		str--
+		p.Stranger = Periodic + StrangerKind(str/MaxStrangers)
+		p.H = str%MaxStrangers + 1
+	}
+	if sel == 0 {
+		p.Candidate, p.Ranking, p.K = TFT, Fastest, 0
+	} else {
+		sel--
+		p.K = sel%MaxPartners + 1
+		cr := sel / MaxPartners
+		p.Candidate = CandidateKind(cr / 6)
+		p.Ranking = RankingKind(cr % 6)
+	}
+	return p, nil
+}
+
+// Enumerate returns all SpaceSize protocols in ID order.
+func Enumerate() []Protocol {
+	out := make([]Protocol, SpaceSize)
+	for id := range out {
+		p, err := ByID(id)
+		if err != nil {
+			panic("design: enumeration broken: " + err.Error())
+		}
+		out[id] = p
+	}
+	return out
+}
+
+// Named protocols referenced throughout the paper. The exact
+// non-headline dimensions (h, k) follow BitTorrent's defaults where the
+// paper does not pin them: one optimistic unchoke slot and four regular
+// unchoke slots.
+
+// BitTorrent is the reference protocol: periodic optimistic unchoke,
+// TFT candidates, fastest-first ranking, equal split.
+func BitTorrent() Protocol {
+	return Protocol{Stranger: Periodic, H: 1, Candidate: TFT, Ranking: Fastest, K: 4, Allocation: EqualSplit}
+}
+
+// Birds is Section 2.3's protocol: BitTorrent with the ranking replaced
+// by proximity to one's own upload capacity ("the best Birds variant,
+// i.e. a protocol that at the very least ranks others by Proximity and
+// employs Equal Split", Section 4.4.2).
+func Birds() Protocol {
+	p := BitTorrent()
+	p.Ranking = Proximity
+	return p
+}
+
+// LoyalWhenNeeded is the protocol validated in Section 5: Sort Loyal
+// ranking with the When-needed stranger policy, which DSA found to have
+// both high Performance and high Robustness.
+func LoyalWhenNeeded() Protocol {
+	return Protocol{Stranger: WhenNeeded, H: 2, Candidate: TFT, Ranking: Loyal, K: 4, Allocation: EqualSplit}
+}
+
+// SortS is the counter-intuitive top performer of Section 4.4: defect
+// on strangers, rank slowest first, keep a single partner, equal split
+// (Prop Share would fail to bootstrap).
+func SortS() Protocol {
+	return Protocol{Stranger: DefectStrangers, H: 1, Candidate: TFT, Ranking: Slowest, K: 1, Allocation: EqualSplit}
+}
+
+// SortRandom is BitTorrent with random ranking, the Figure 10 baseline
+// that performs on par with BitTorrent (cf. Leong et al. [15]).
+func SortRandom() Protocol {
+	p := BitTorrent()
+	p.Ranking = RandomRank
+	return p
+}
+
+// MostRobustCandidate is the combination Section 4.4 identifies in the
+// >0.99-robustness cluster: When-needed strangers, Sort Fastest,
+// Prop Share, seven partners.
+func MostRobustCandidate() Protocol {
+	return Protocol{Stranger: WhenNeeded, H: 3, Candidate: TFT, Ranking: Fastest, K: 7, Allocation: PropShare}
+}
+
+// Freerider is the canonical low point of the space: no cooperation
+// with anybody.
+func Freerider() Protocol {
+	return Protocol{Stranger: StrangerNone, H: 0, Candidate: TFT, Ranking: Fastest, K: 0, Allocation: Freeride}
+}
+
+// Named returns the paper's named protocols keyed by their names, for
+// tooling and reports.
+func Named() map[string]Protocol {
+	return map[string]Protocol{
+		"BitTorrent":      BitTorrent(),
+		"Birds":           Birds(),
+		"LoyalWhenNeeded": LoyalWhenNeeded(),
+		"SortS":           SortS(),
+		"SortRandom":      SortRandom(),
+		"MostRobust":      MostRobustCandidate(),
+		"Freerider":       Freerider(),
+	}
+}

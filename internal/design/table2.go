@@ -1,0 +1,64 @@
+package design
+
+// SystemMapping records how an existing protocol or proposed design
+// maps onto the generic P2P design space of Section 4.1 — Table 2 of
+// the paper. The entries are descriptive: they document that the
+// parameterized dimensions (peer discovery, stranger policy, selection
+// function, resource allocation) cover a wide range of deployed
+// systems, which is the argument for the Parameterization step.
+type SystemMapping struct {
+	System             string
+	PeerDiscovery      string
+	StrangerPolicy     string
+	SelectionFunction  string
+	ResourceAllocation string
+}
+
+// Table2 returns the paper's Table 2 verbatim: six existing
+// protocols/designs mapped to the four generic dimensions.
+func Table2() []SystemMapping {
+	return []SystemMapping{
+		{
+			System:             "P2P Replica Storage [30]",
+			PeerDiscovery:      "Gossip based",
+			StrangerPolicy:     "Defect if set of partners full",
+			SelectionFunction:  "Closest to own profile",
+			ResourceAllocation: "Equal",
+		},
+		{
+			System:             "GTG [21]",
+			PeerDiscovery:      "orthogonal",
+			StrangerPolicy:     "Unconditional cooperation",
+			SelectionFunction:  "Sort on Forwarding Rank",
+			ResourceAllocation: "Equal",
+		},
+		{
+			System:             "Maze [32]",
+			PeerDiscovery:      "Central server",
+			StrangerPolicy:     "Initialized with points",
+			SelectionFunction:  "Ranked on points",
+			ResourceAllocation: "Differentiated according to rank",
+		},
+		{
+			System:             "Pulse [23]",
+			PeerDiscovery:      "Gossip based",
+			StrangerPolicy:     "Give positive score",
+			SelectionFunction:  "Missing list, Forwarding list",
+			ResourceAllocation: "Equal",
+		},
+		{
+			System:             "BarterCast [20]",
+			PeerDiscovery:      "Gossip based",
+			StrangerPolicy:     "Unconditional cooperation",
+			SelectionFunction:  "Rank/Ban according to reputation",
+			ResourceAllocation: "orthogonal",
+		},
+		{
+			System:             "Private BT Communities",
+			PeerDiscovery:      "Central server",
+			StrangerPolicy:     "Initial credit",
+			SelectionFunction:  "Credits or sharing ratio above certain level",
+			ResourceAllocation: "Equal / Differentiated according to credits",
+		},
+	}
+}

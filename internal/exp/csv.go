@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/design"
+	"repro/internal/pra"
+)
+
+// csvHeader is the column layout shared by WriteCSV and ReadCSV (and
+// therefore by the dsa-sweep and dsa-report tools).
+var csvHeader = []string{
+	"id", "protocol", "stranger", "h", "candidates", "ranking", "k",
+	"allocation", "raw_kbps", "performance", "robustness", "aggressiveness",
+}
+
+// WriteCSV serialises a sweep result in the dsa-sweep CSV format.
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i, p := range r.Protocols {
+		row := []string{
+			strconv.Itoa(design.ID(p)), p.String(), p.Stranger.String(),
+			strconv.Itoa(p.H), p.Candidate.String(), p.Ranking.String(),
+			strconv.Itoa(p.K), p.Allocation.String(),
+			fmt.Sprintf("%.6f", r.Scores.RawPerformance[i]),
+			fmt.Sprintf("%.6f", r.Scores.Performance[i]),
+			fmt.Sprintf("%.6f", r.Scores.Robustness[i]),
+			fmt.Sprintf("%.6f", r.Scores.Aggressiveness[i]),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dsa-sweep CSV back into a SweepResult. Columns are
+// located by header name, so extra columns and reordering are fine.
+func ReadCSV(r io.Reader) (*SweepResult, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("exp: CSV has no data rows")
+	}
+	col := map[string]int{}
+	for i, h := range rows[0] {
+		col[h] = i
+	}
+	for _, need := range []string{"protocol", "raw_kbps", "performance", "robustness", "aggressiveness"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("exp: CSV column %q missing", need)
+		}
+	}
+	res := &SweepResult{Scores: &pra.Scores{}}
+	for rowIdx, row := range rows[1:] {
+		p, err := design.Parse(row[col["protocol"]])
+		if err != nil {
+			return nil, fmt.Errorf("exp: row %d: %w", rowIdx+2, err)
+		}
+		res.Protocols = append(res.Protocols, p)
+		for _, c := range []struct {
+			name string
+			dst  *[]float64
+		}{
+			{"raw_kbps", &res.Scores.RawPerformance},
+			{"performance", &res.Scores.Performance},
+			{"robustness", &res.Scores.Robustness},
+			{"aggressiveness", &res.Scores.Aggressiveness},
+		} {
+			v, err := strconv.ParseFloat(row[col[c.name]], 64)
+			if err != nil {
+				return nil, fmt.Errorf("exp: row %d: bad %s: %w", rowIdx+2, c.name, err)
+			}
+			*c.dst = append(*c.dst, v)
+		}
+	}
+	res.Scores.Protocols = res.Protocols
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := sweepForTest(t)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Protocols) != len(r.Protocols) {
+		t.Fatalf("rows = %d, want %d", len(back.Protocols), len(r.Protocols))
+	}
+	for i := range r.Protocols {
+		if back.Protocols[i] != r.Protocols[i] {
+			t.Fatalf("protocol %d changed", i)
+		}
+		if diff(back.Scores.Performance[i], r.Scores.Performance[i]) > 1e-6 ||
+			diff(back.Scores.Robustness[i], r.Scores.Robustness[i]) > 1e-6 ||
+			diff(back.Scores.Aggressiveness[i], r.Scores.Aggressiveness[i]) > 1e-6 ||
+			diff(back.Scores.RawPerformance[i], r.Scores.RawPerformance[i]) > 1e-4 {
+			t.Fatalf("scores %d changed", i)
+		}
+	}
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",           // empty
+		"protocol\n", // header only, missing columns
+		"protocol,raw_kbps,performance,robustness,aggressiveness\nBADCODE,1,1,1,1\n",
+		"protocol,raw_kbps,performance,robustness,aggressiveness\nB1h1-C1-I1k4-R1,x,1,1,1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestReadCSVTolerantToExtraColumns(t *testing.T) {
+	in := "extra,protocol,raw_kbps,performance,robustness,aggressiveness\n" +
+		"zz,B1h1-C1-I1k4-R1,100,0.5,0.25,0.125\n"
+	res, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Protocols) != 1 || res.Scores.Robustness[0] != 0.25 {
+		t.Fatalf("parsed %+v", res.Scores)
+	}
+}

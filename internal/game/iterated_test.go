@@ -1,0 +1,180 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestTFTMirrors(t *testing.T) {
+	var s TFT
+	if got := s.Move(nil, nil, rng(1)); got != Cooperate {
+		t.Error("TFT must open with C")
+	}
+	if got := s.Move([]Action{Cooperate}, []Action{Defect}, rng(1)); got != Defect {
+		t.Error("TFT must mirror a defection")
+	}
+	if got := s.Move([]Action{Defect}, []Action{Cooperate}, rng(1)); got != Cooperate {
+		t.Error("TFT must forgive after cooperation")
+	}
+}
+
+func TestTF2TForgivesSingleDefection(t *testing.T) {
+	var s TF2T
+	if got := s.Move([]Action{Cooperate}, []Action{Defect}, rng(1)); got != Cooperate {
+		t.Error("TF2T should forgive one defection")
+	}
+	if got := s.Move([]Action{Cooperate, Cooperate}, []Action{Defect, Defect}, rng(1)); got != Defect {
+		t.Error("TF2T should punish two defections")
+	}
+}
+
+func TestGrimTriggers(t *testing.T) {
+	g := &Grim{}
+	g.Reset()
+	if got := g.Move(nil, nil, rng(1)); got != Cooperate {
+		t.Error("Grim opens with C")
+	}
+	if got := g.Move([]Action{Cooperate}, []Action{Defect}, rng(1)); got != Defect {
+		t.Error("Grim must trigger")
+	}
+	// Once triggered, defects forever even if opponent cooperates.
+	if got := g.Move([]Action{Cooperate, Defect}, []Action{Defect, Cooperate}, rng(1)); got != Defect {
+		t.Error("Grim must stay triggered")
+	}
+	g.Reset()
+	if got := g.Move(nil, nil, rng(1)); got != Cooperate {
+		t.Error("Reset must clear the trigger")
+	}
+}
+
+func TestWSLS(t *testing.T) {
+	var s WSLS
+	if got := s.Move(nil, nil, rng(1)); got != Cooperate {
+		t.Error("WSLS opens with C")
+	}
+	// Win (opp cooperated): stay with own last move.
+	if got := s.Move([]Action{Defect}, []Action{Cooperate}, rng(1)); got != Defect {
+		t.Error("WSLS should stay after win")
+	}
+	// Lose (opp defected): shift.
+	if got := s.Move([]Action{Defect}, []Action{Defect}, rng(1)); got != Cooperate {
+		t.Error("WSLS should shift after loss")
+	}
+}
+
+func TestRandomStrategyExtremes(t *testing.T) {
+	r := rng(5)
+	always := RandomStrategy{P: 1}
+	never := RandomStrategy{P: 0}
+	for i := 0; i < 50; i++ {
+		if always.Move(nil, nil, r) != Cooperate {
+			t.Fatal("P=1 must always cooperate")
+		}
+		if never.Move(nil, nil, r) != Defect {
+			t.Fatal("P=0 must always defect")
+		}
+	}
+	if always.Name() != "Random(1.00)" {
+		t.Errorf("name = %q", always.Name())
+	}
+}
+
+func TestPlayMatchTFTvsAllD(t *testing.T) {
+	// TFT vs AllD over the 5/3/1/0 PD: TFT loses only the first round.
+	g := StandardPD()
+	res := PlayMatch(g, TFT{}, AllD{}, 10, rng(1))
+	// Round 1: TFT C (0), AllD D (5). Rounds 2-10: both D (1,1).
+	if res.RowScore != 0+9*1 {
+		t.Errorf("TFT score = %v, want 9", res.RowScore)
+	}
+	if res.ColScore != 5+9*1 {
+		t.Errorf("AllD score = %v, want 14", res.ColScore)
+	}
+	if len(res.Moves[0]) != 10 || len(res.Moves[1]) != 10 {
+		t.Error("history length wrong")
+	}
+}
+
+func TestPlayMatchMutualTFT(t *testing.T) {
+	g := StandardPD()
+	res := PlayMatch(g, TFT{}, TFT{}, 100, rng(1))
+	if res.RowScore != 300 || res.ColScore != 300 {
+		t.Errorf("mutual TFT = %v/%v, want 300/300", res.RowScore, res.ColScore)
+	}
+}
+
+func TestPlayMatchDeterministic(t *testing.T) {
+	g := StandardPD()
+	a := PlayMatch(g, RandomStrategy{P: 0.5}, TFT{}, 50, rng(7))
+	b := PlayMatch(g, RandomStrategy{P: 0.5}, TFT{}, 50, rng(7))
+	if a.RowScore != b.RowScore || a.ColScore != b.ColScore {
+		t.Error("same seed must give same match")
+	}
+}
+
+func TestRoundRobinAxelrodFlavour(t *testing.T) {
+	// In a PD round-robin with this lineup, AllD must not beat TFT on
+	// average (Axelrod's classic observation over long matches).
+	g := StandardPD()
+	strategies := []Strategy{TFT{}, AllD{}, AllC{}, TF2T{}, &Grim{}, WSLS{}}
+	entries := RoundRobin(g, strategies, 200, 99)
+	byName := map[string]TournamentEntry{}
+	for _, e := range entries {
+		byName[e.Strategy] = e
+	}
+	if byName["TFT"].Average <= byName["AllD"].Average {
+		t.Errorf("TFT avg %v should beat AllD avg %v over long matches",
+			byName["TFT"].Average, byName["AllD"].Average)
+	}
+	for _, e := range entries {
+		if e.Matches != len(strategies)+1 {
+			// Each strategy plays every other once plus itself twice
+			// (once per side).
+			t.Errorf("%s matches = %d, want %d", e.Strategy, e.Matches, len(strategies)+1)
+		}
+	}
+}
+
+func TestRoundRobinDeterminism(t *testing.T) {
+	g := StandardPD()
+	s1 := []Strategy{TFT{}, AllD{}, RandomStrategy{P: 0.5}}
+	s2 := []Strategy{TFT{}, AllD{}, RandomStrategy{P: 0.5}}
+	a := RoundRobin(g, s1, 100, 42)
+	b := RoundRobin(g, s2, 100, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tournament not deterministic")
+		}
+	}
+}
+
+func TestIteratedBitTorrentDilemma(t *testing.T) {
+	// In the iterated BT Dilemma (fast row, slow col), a fast AllD
+	// against a slow AllC accumulates s per round — the "free rides"
+	// the paper describes.
+	g, err := BitTorrentDilemma(100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := PlayMatch(g, AllD{}, AllC{}, 10, rng(1))
+	if res.RowScore != 200 {
+		t.Errorf("fast AllD score = %v, want 200", res.RowScore)
+	}
+	if res.ColScore != 0 {
+		t.Errorf("slow AllC score = %v, want 0", res.ColScore)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	all := []Strategy{AllC{}, AllD{}, TFT{}, TF2T{}, &Grim{}, WSLS{}}
+	seen := map[string]bool{}
+	for _, s := range all {
+		n := s.Name()
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,375 @@
+// Package pra implements the Performance, Robustness, Aggressiveness
+// quantification of Section 3.2 — the solution concept of Design Space
+// Analysis — over the file-swarming design space of Section 4.
+//
+// For a protocol Π:
+//
+//   - Performance: population mean throughput when everyone runs Π,
+//     normalised over the whole evaluated set (1 = best in space).
+//   - Robustness: the fraction of tournament games Π wins when half the
+//     population runs Π and half runs an opposing protocol.
+//   - Aggressiveness: the same with Π in a 10% minority.
+//
+// A tournament plays Π against every opponent (or a fixed deterministic
+// sample, for reduced presets) for EncounterRuns runs each; a win is a
+// strictly higher camp-mean utility. All work items get seeds derived
+// from the pair and run index, so results are identical regardless of
+// worker count or scheduling.
+package pra
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bandwidth"
+	"repro/internal/cyclesim"
+	"repro/internal/design"
+	"repro/internal/stats"
+)
+
+// Config scales the quantification. The zero value is not valid; start
+// from Paper() or Quick().
+type Config struct {
+	Peers         int     // population size per run (paper: 50)
+	Rounds        int     // rounds per run (paper: 500)
+	PerfRuns      int     // runs averaged per performance value (paper: 100)
+	EncounterRuns int     // runs per encounter (paper: 10)
+	Opponents     int     // opponents sampled per tournament; 0 = every other protocol
+	Seed          int64   // master seed
+	Churn         float64 // per-round churn rate (0 in the main experiments)
+	Workers       int     // parallel workers; 0 = GOMAXPROCS
+	// Dist supplies peer capacities (stratified per run). nil = Piatek.
+	Dist *bandwidth.Distribution
+}
+
+// Paper returns the full-scale configuration of Section 4.3: 50 peers,
+// 500 rounds, 100 performance runs, 10 runs per encounter, full
+// round-robin. Running it over all 3270 protocols is the paper's
+// 107-million-run, 25-cluster-hour experiment — budget accordingly.
+func Paper() Config {
+	return Config{Peers: 50, Rounds: 500, PerfRuns: 100, EncounterRuns: 10, Seed: 1}
+}
+
+// Quick returns a reduced configuration that preserves the shape of the
+// results at a small fraction of the cost: fewer peers, rounds and runs,
+// and a fixed 60-opponent sample per tournament.
+func Quick() Config {
+	return Config{Peers: 30, Rounds: 150, PerfRuns: 3, EncounterRuns: 1, Opponents: 60, Seed: 1}
+}
+
+func (c Config) validate() error {
+	if c.Peers < 2 {
+		return fmt.Errorf("pra: need at least 2 peers, got %d", c.Peers)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("pra: need at least 1 round, got %d", c.Rounds)
+	}
+	if c.PerfRuns < 1 || c.EncounterRuns < 1 {
+		return fmt.Errorf("pra: PerfRuns and EncounterRuns must be >= 1")
+	}
+	if c.Opponents < 0 {
+		return fmt.Errorf("pra: Opponents must be >= 0, got %d", c.Opponents)
+	}
+	return nil
+}
+
+func (c Config) dist() *bandwidth.Distribution {
+	if c.Dist != nil {
+		return c.Dist
+	}
+	return bandwidth.Piatek()
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mix64 is a splitmix64-style hash used to derive independent run seeds
+// from task coordinates, keeping every simulation deterministic and
+// independent of scheduling.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func runSeed(master int64, a, b, run, kind int) int64 {
+	h := mix64(uint64(master))
+	h = mix64(h ^ uint64(a)*0x100000001b3)
+	h = mix64(h ^ uint64(b)*0x1000193)
+	h = mix64(h ^ uint64(run)<<8 ^ uint64(kind))
+	return int64(h &^ (1 << 63))
+}
+
+// parallelFor runs fn(i) for i in [0,n) on w workers.
+func parallelFor(n, w int, fn func(i int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// homogeneousSpecs builds an all-Π population with stratified
+// capacities.
+func homogeneousSpecs(p design.Protocol, n int, dist *bandwidth.Distribution) []cyclesim.PeerSpec {
+	caps := dist.Stratified(n)
+	specs := make([]cyclesim.PeerSpec, n)
+	for i := range specs {
+		specs[i] = cyclesim.PeerSpec{Protocol: p, Capacity: caps[i]}
+	}
+	return specs
+}
+
+// EncounterSpecs builds a mixed population: nA peers run a, the rest
+// run b, with group-A positions spread evenly across the stratified
+// capacity order so both camps see the same capacity distribution.
+// The returned mask marks the peers running a. A nil dist defaults to
+// the Piatek distribution.
+func EncounterSpecs(a, b design.Protocol, n, nA int, dist *bandwidth.Distribution) ([]cyclesim.PeerSpec, []bool) {
+	if dist == nil {
+		dist = bandwidth.Piatek()
+	}
+	caps := dist.Stratified(n)
+	specs := make([]cyclesim.PeerSpec, n)
+	mask := make([]bool, n)
+	// Assign capacities to camps so the per-capita capacity of both
+	// camps matches as closely as possible: walk capacities from the
+	// heaviest down (the tail dominates the mean) and give each to the
+	// camp with the larger remaining per-slot deficit. Positional
+	// interleaving is not enough — a single heavy-tail peer can skew a
+	// camp's mean by 50%.
+	total := 0.0
+	for _, c := range caps {
+		total += c
+	}
+	target := total / float64(n)
+	sumA, sumB := 0.0, 0.0
+	leftA, leftB := nA, n-nA
+	for i := n - 1; i >= 0; i-- { // Stratified() is ascending
+		var toA bool
+		switch {
+		case leftA == 0:
+			toA = false
+		case leftB == 0:
+			toA = true
+		default:
+			defA := (target*float64(nA) - sumA) / float64(leftA)
+			defB := (target*float64(n-nA) - sumB) / float64(leftB)
+			// Ties go to the larger camp, which absorbs outliers best.
+			toA = defA > defB || (defA == defB && leftA > leftB)
+		}
+		if toA {
+			mask[i] = true
+			sumA += caps[i]
+			leftA--
+		} else {
+			sumB += caps[i]
+			leftB--
+		}
+	}
+	for i := range specs {
+		p := b
+		if mask[i] {
+			p = a
+		}
+		specs[i] = cyclesim.PeerSpec{Protocol: p, Capacity: caps[i]}
+	}
+	return specs, mask
+}
+
+// PerformanceSweep measures raw homogeneous performance (population
+// mean throughput in KiB/s, averaged over PerfRuns runs) for every
+// protocol. Use stats.MinMaxNormalize for the paper's normalisation.
+func PerformanceSweep(ps []design.Protocol, cfg Config) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dist := cfg.dist()
+	out := make([]float64, len(ps))
+	errs := make([]error, len(ps))
+	parallelFor(len(ps), cfg.workers(), func(i int) {
+		specs := homogeneousSpecs(ps[i], cfg.Peers, dist)
+		var sum float64
+		for r := 0; r < cfg.PerfRuns; r++ {
+			res, err := cyclesim.Run(specs, cyclesim.Options{
+				Rounds:      cfg.Rounds,
+				Seed:        runSeed(cfg.Seed, design.ID(ps[i]), 0, r, 1),
+				Churn:       cfg.Churn,
+				Replacement: dist,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sum += res.Mean()
+		}
+		out[i] = sum / float64(cfg.PerfRuns)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Encounter runs one mixed-population simulation and returns the camp
+// means for a and b. frac is the fraction of the population running a.
+func Encounter(a, b design.Protocol, frac float64, cfg Config, seed int64) (meanA, meanB float64, err error) {
+	if err := cfg.validate(); err != nil {
+		return 0, 0, err
+	}
+	nA := int(frac*float64(cfg.Peers) + 0.5)
+	if nA < 1 {
+		nA = 1
+	}
+	if nA >= cfg.Peers {
+		nA = cfg.Peers - 1
+	}
+	dist := cfg.dist()
+	specs, mask := EncounterSpecs(a, b, cfg.Peers, nA, dist)
+	res, err := cyclesim.Run(specs, cyclesim.Options{
+		Rounds:      cfg.Rounds,
+		Seed:        seed,
+		Churn:       cfg.Churn,
+		Replacement: dist,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	meanA = res.GroupMean(func(i int) bool { return mask[i] })
+	meanB = res.GroupMean(func(i int) bool { return !mask[i] })
+	return meanA, meanB, nil
+}
+
+// SampleOpponents returns the fixed opponent panel used by reduced
+// configurations: cfg.Opponents protocols drawn deterministically and
+// evenly from the full space (or the whole space when Opponents is 0 or
+// exceeds it). Every tournament uses the same panel, keeping scores
+// comparable across protocols.
+func SampleOpponents(cfg Config) []design.Protocol {
+	all := design.Enumerate()
+	if cfg.Opponents <= 0 || cfg.Opponents >= len(all) {
+		return all
+	}
+	out := make([]design.Protocol, 0, cfg.Opponents)
+	// Even strides keep the panel representative of every region of
+	// the space; the offset derives from the master seed.
+	offset := int(mix64(uint64(cfg.Seed)) % uint64(len(all)))
+	for j := 0; j < cfg.Opponents; j++ {
+		idx := (offset + j*len(all)/cfg.Opponents) % len(all)
+		out = append(out, all[idx])
+	}
+	return out
+}
+
+// TournamentScores plays every protocol in ps against every opponent at
+// the given population fraction (0.5 for Robustness, 0.1 for
+// Aggressiveness, 0.9 for the 90-10 validation) and returns each
+// protocol's win fraction in [0,1]. Encounters against an identical
+// protocol are skipped.
+func TournamentScores(ps, opponents []design.Protocol, frac float64, cfg Config) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	wins := make([]int, len(ps))
+	games := make([]int, len(ps))
+	errs := make([]error, len(ps))
+	kind := int(frac * 1000)
+	parallelFor(len(ps), cfg.workers(), func(i int) {
+		idA := design.ID(ps[i])
+		for _, opp := range opponents {
+			idB := design.ID(opp)
+			if idA == idB {
+				continue
+			}
+			for r := 0; r < cfg.EncounterRuns; r++ {
+				seed := runSeed(cfg.Seed, idA, idB, r, kind)
+				meanA, meanB, err := Encounter(ps[i], opp, frac, cfg, seed)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				games[i]++
+				if meanA > meanB {
+					wins[i]++
+				}
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]float64, len(ps))
+	for i := range out {
+		if games[i] > 0 {
+			out[i] = float64(wins[i]) / float64(games[i])
+		}
+	}
+	return out, nil
+}
+
+// Scores holds the full PRA quantification for a set of protocols.
+type Scores struct {
+	Protocols      []design.Protocol
+	RawPerformance []float64 // KiB/s population means
+	Performance    []float64 // normalised to [0,1] over the evaluated set
+	Robustness     []float64 // win fraction at 50/50
+	Aggressiveness []float64 // win fraction at 10/90
+}
+
+// Run computes the PRA quantification for every protocol in ps using
+// the opponent panel from SampleOpponents.
+func Run(ps []design.Protocol, cfg Config) (*Scores, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	raw, err := PerformanceSweep(ps, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opponents := SampleOpponents(cfg)
+	rob, err := TournamentScores(ps, opponents, 0.5, cfg)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := TournamentScores(ps, opponents, 0.1, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Scores{
+		Protocols:      ps,
+		RawPerformance: raw,
+		Performance:    stats.MinMaxNormalize(raw),
+		Robustness:     rob,
+		Aggressiveness: agg,
+	}, nil
+}

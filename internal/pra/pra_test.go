@@ -1,0 +1,280 @@
+package pra
+
+import (
+	"testing"
+
+	"repro/internal/design"
+	"repro/internal/stats"
+)
+
+// tiny returns a fast test configuration.
+func tiny() Config {
+	return Config{Peers: 16, Rounds: 60, PerfRuns: 1, EncounterRuns: 1, Opponents: 8, Seed: 5}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Peers: 1, Rounds: 10, PerfRuns: 1, EncounterRuns: 1},
+		{Peers: 10, Rounds: 0, PerfRuns: 1, EncounterRuns: 1},
+		{Peers: 10, Rounds: 10, PerfRuns: 0, EncounterRuns: 1},
+		{Peers: 10, Rounds: 10, PerfRuns: 1, EncounterRuns: 0},
+		{Peers: 10, Rounds: 10, PerfRuns: 1, EncounterRuns: 1, Opponents: -1},
+	}
+	for i, c := range bad {
+		if err := c.validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if err := Paper().validate(); err != nil {
+		t.Errorf("Paper config invalid: %v", err)
+	}
+	if err := Quick().validate(); err != nil {
+		t.Errorf("Quick config invalid: %v", err)
+	}
+}
+
+func TestPaperConfigMatchesSection43(t *testing.T) {
+	p := Paper()
+	if p.Peers != 50 || p.Rounds != 500 || p.PerfRuns != 100 || p.EncounterRuns != 10 {
+		t.Errorf("Paper() = %+v, want 50 peers / 500 rounds / 100 perf runs / 10 encounter runs", p)
+	}
+	if p.Opponents != 0 {
+		t.Error("Paper() must use the full round-robin")
+	}
+}
+
+func TestEncounterSpecsBalance(t *testing.T) {
+	a, b := design.BitTorrent(), design.Freerider()
+	specs, mask := EncounterSpecs(a, b, 50, 25, nil)
+	nA := 0
+	var capA, capB float64
+	for i, s := range specs {
+		if mask[i] {
+			nA++
+			capA += s.Capacity
+			if s.Protocol != a {
+				t.Fatal("mask does not match protocol assignment")
+			}
+		} else {
+			capB += s.Capacity
+			if s.Protocol != b {
+				t.Fatal("mask does not match protocol assignment")
+			}
+		}
+	}
+	if nA != 25 {
+		t.Fatalf("nA = %d, want 25", nA)
+	}
+	// Stratified interleaving keeps camp capacities within 10%.
+	if ratio := capA / capB; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("capacity ratio between camps = %v, want ~1", ratio)
+	}
+}
+
+func TestEncounterSpecsMinority(t *testing.T) {
+	a, b := design.BitTorrent(), design.Freerider()
+	_, mask := EncounterSpecs(a, b, 50, 5, nil)
+	nA := 0
+	for _, m := range mask {
+		if m {
+			nA++
+		}
+	}
+	if nA != 5 {
+		t.Fatalf("minority count = %d, want 5", nA)
+	}
+}
+
+func TestEncounterDeterminism(t *testing.T) {
+	cfg := tiny()
+	a1, b1, err := Encounter(design.BitTorrent(), design.Freerider(), 0.5, cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, err := Encounter(design.BitTorrent(), design.Freerider(), 0.5, cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || b1 != b2 {
+		t.Error("same seed must reproduce encounter")
+	}
+}
+
+func TestEncounterBTBeatsFreerider(t *testing.T) {
+	cfg := tiny()
+	meanBT, meanFR, err := Encounter(design.BitTorrent(), design.Freerider(), 0.5, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanBT <= meanFR {
+		t.Errorf("BT camp %v should beat freeriders %v", meanBT, meanFR)
+	}
+}
+
+func TestPerformanceSweepOrdering(t *testing.T) {
+	cfg := tiny()
+	cfg.Rounds = 150
+	ps := []design.Protocol{design.BitTorrent(), design.Freerider(), design.SortS()}
+	raw, err := PerformanceSweep(ps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[1] != 0 {
+		t.Errorf("freerider raw perf = %v, want 0", raw[1])
+	}
+	if raw[0] <= raw[1] || raw[2] <= raw[1] {
+		t.Error("cooperative protocols must beat freeriders")
+	}
+	norm := stats.MinMaxNormalize(raw)
+	if stats.Max(norm) != 1 || stats.Min(norm) != 0 {
+		t.Error("normalisation should span [0,1]")
+	}
+}
+
+func TestPerformanceSweepParallelDeterminism(t *testing.T) {
+	ps := []design.Protocol{design.BitTorrent(), design.Birds(), design.SortS(), design.LoyalWhenNeeded()}
+	cfg1 := tiny()
+	cfg1.Workers = 1
+	cfg4 := tiny()
+	cfg4.Workers = 4
+	a, err := PerformanceSweep(ps, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PerformanceSweep(ps, cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("worker count changed results: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSampleOpponentsFixedAndSized(t *testing.T) {
+	cfg := tiny()
+	s1 := SampleOpponents(cfg)
+	s2 := SampleOpponents(cfg)
+	if len(s1) != cfg.Opponents {
+		t.Fatalf("panel size = %d, want %d", len(s1), cfg.Opponents)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("panel must be deterministic")
+		}
+	}
+	// Opponents=0 → everything.
+	cfg.Opponents = 0
+	if got := len(SampleOpponents(cfg)); got != design.SpaceSize {
+		t.Fatalf("full panel size = %d", got)
+	}
+	// Distinct protocols in the panel.
+	seen := map[string]bool{}
+	for _, p := range s1 {
+		if seen[p.String()] {
+			t.Fatalf("duplicate opponent %s", p)
+		}
+		seen[p.String()] = true
+	}
+}
+
+func TestTournamentScoresRobustOrdering(t *testing.T) {
+	// The robust candidate should beat the freerider-family protocols
+	// far more often than a freerider does.
+	cfg := tiny()
+	ps := []design.Protocol{design.MostRobustCandidate(), design.Freerider()}
+	opponents := []design.Protocol{
+		design.BitTorrent(), design.Birds(), design.SortS(),
+		design.LoyalWhenNeeded(), design.SortRandom(), design.Freerider(),
+	}
+	scores, err := TournamentScores(ps, opponents, 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] <= scores[1] {
+		t.Errorf("robust candidate %v should out-score freerider %v", scores[0], scores[1])
+	}
+	for _, s := range scores {
+		if s < 0 || s > 1 {
+			t.Errorf("score %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestTournamentSkipsSelfPlay(t *testing.T) {
+	cfg := tiny()
+	ps := []design.Protocol{design.BitTorrent()}
+	opponents := []design.Protocol{design.BitTorrent()}
+	scores, err := TournamentScores(ps, opponents, 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 0 {
+		t.Errorf("self-only tournament should score 0 (no games), got %v", scores[0])
+	}
+}
+
+func TestRunPRAEndToEnd(t *testing.T) {
+	cfg := tiny()
+	cfg.Opponents = 6
+	ps := []design.Protocol{
+		design.BitTorrent(), design.Freerider(), design.SortS(), design.MostRobustCandidate(),
+	}
+	scores, err := Run(ps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores.Performance) != len(ps) || len(scores.Robustness) != len(ps) || len(scores.Aggressiveness) != len(ps) {
+		t.Fatal("score lengths mismatch")
+	}
+	for i := range ps {
+		for _, v := range []float64{scores.Performance[i], scores.Robustness[i], scores.Aggressiveness[i]} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: score %v outside [0,1]", ps[i], v)
+			}
+		}
+	}
+	// The freerider must be at the bottom of performance.
+	frIdx := 1
+	if scores.Performance[frIdx] != 0 {
+		t.Errorf("freerider performance = %v, want 0", scores.Performance[frIdx])
+	}
+}
+
+func TestRunSeedIndependence(t *testing.T) {
+	// Different coordinates must give different seeds (no collisions in
+	// a small sample), and the same coordinates the same seed.
+	seen := map[int64]bool{}
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			for r := 0; r < 3; r++ {
+				s := runSeed(1, a, b, r, 500)
+				if seen[s] {
+					t.Fatalf("seed collision at (%d,%d,%d)", a, b, r)
+				}
+				seen[s] = true
+			}
+		}
+	}
+	if runSeed(1, 2, 3, 4, 500) != runSeed(1, 2, 3, 4, 500) {
+		t.Error("runSeed must be deterministic")
+	}
+	if runSeed(1, 2, 3, 4, 500) == runSeed(2, 2, 3, 4, 500) {
+		t.Error("master seed must matter")
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	for _, w := range []int{1, 3, 8} {
+		hit := make([]bool, 100)
+		parallelFor(100, w, func(i int) { hit[i] = true })
+		for i, h := range hit {
+			if !h {
+				t.Fatalf("workers=%d: index %d not visited", w, i)
+			}
+		}
+	}
+	// n < workers and n == 0 edge cases.
+	parallelFor(0, 4, func(int) { t.Fatal("should not run") })
+}

@@ -1,0 +1,233 @@
+// Package report renders experiment results as aligned ASCII tables,
+// CSV files, and terminal plots (scatter, histogram, CCDF) — the output
+// layer behind the cmd tools that regenerate the paper's figures.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table {
+	return &Table{Header: header}
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Scatter renders an ASCII scatter plot of (x, y) points, both assumed
+// in [0,1] — the terminal rendition of Figures 2 and 8.
+func Scatter(w io.Writer, xs, ys []float64, width, height int, xlabel, ylabel string) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("report: scatter length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if width < 8 || height < 4 {
+		return fmt.Errorf("report: plot area too small")
+	}
+	grid := make([][]int, height)
+	for i := range grid {
+		grid[i] = make([]int, width)
+	}
+	for i := range xs {
+		x, y := clamp01(xs[i]), clamp01(ys[i])
+		cx := int(x * float64(width-1))
+		cy := int(y * float64(height-1))
+		grid[height-1-cy][cx]++
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", ylabel); err != nil {
+		return err
+	}
+	for r := 0; r < height; r++ {
+		var b strings.Builder
+		b.WriteString("|")
+		for c := 0; c < width; c++ {
+			b.WriteByte(density(grid[r][c]))
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "+%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, " 0%s%s 1\n", strings.Repeat(" ", width-len(xlabel)-3), xlabel)
+	return err
+}
+
+func density(n int) byte {
+	switch {
+	case n == 0:
+		return ' '
+	case n <= 2:
+		return '.'
+	case n <= 5:
+		return 'o'
+	case n <= 15:
+		return 'O'
+	default:
+		return '@'
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// HBar renders a horizontal bar chart of labelled values.
+func HBar(w io.Writer, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("report: bar length mismatch")
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		bar := 0
+		if maxV > 0 {
+			bar = int(v / maxV * float64(width))
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %s %s\n", maxL, labels[i],
+			strings.Repeat("#", bar), formatFloat(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Heat renders a category×bin frequency grid (Figures 3-4 style):
+// rows are value intervals from high to low, columns are categories,
+// cells shaded by row-normalised frequency.
+func Heat(w io.Writer, rowNorm func(bin int) []float64, bins, categories int, rowLabel func(bin int) string) error {
+	for b := bins - 1; b >= 0; b-- {
+		frac := rowNorm(b)
+		if len(frac) != categories {
+			return fmt.Errorf("report: heat row width mismatch")
+		}
+		var sb strings.Builder
+		sb.WriteString(rowLabel(b))
+		sb.WriteString(" ")
+		for c := 0; c < categories; c++ {
+			sb.WriteByte(shade(frac[c]))
+			sb.WriteByte(' ')
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func shade(f float64) byte {
+	switch {
+	case f <= 0:
+		return ' '
+	case f < 0.1:
+		return '.'
+	case f < 0.25:
+		return 'o'
+	case f < 0.5:
+		return 'O'
+	default:
+		return '@'
+	}
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Add("alpha", 1.0)
+	tb.Add("b", 0.123456)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"name", "value", "alpha", "1.0", "0.1235"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("lines = %d, want 4", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Add("x,y", 2.0) // comma must be quoted
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"x,y"`) {
+		t.Errorf("CSV quoting broken: %q", sb.String())
+	}
+}
+
+func TestScatter(t *testing.T) {
+	var sb strings.Builder
+	xs := []float64{0, 0.5, 1, 1, 1, 1, 1, 1}
+	ys := []float64{0, 0.5, 1, 1, 1, 1, 1, 1}
+	if err := Scatter(&sb, xs, ys, 20, 10, "R", "P"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "P") || !strings.Contains(out, "R") {
+		t.Error("labels missing")
+	}
+	// The dense corner should be darker than a single point.
+	if !strings.ContainsAny(out, "oO@") {
+		t.Error("density shading missing")
+	}
+	if err := Scatter(&sb, xs, ys[:2], 20, 10, "x", "y"); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if err := Scatter(&sb, xs, ys, 2, 2, "x", "y"); err == nil {
+		t.Error("tiny plot should error")
+	}
+}
+
+func TestScatterClampsOutOfRange(t *testing.T) {
+	var sb strings.Builder
+	if err := Scatter(&sb, []float64{-1, 2}, []float64{2, -1}, 10, 5, "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHBar(t *testing.T) {
+	var sb strings.Builder
+	if err := HBar(&sb, []string{"aa", "b"}, []float64{1, 0.5}, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[0], "#") != 10 || strings.Count(lines[1], "#") != 5 {
+		t.Errorf("bar lengths wrong:\n%s", sb.String())
+	}
+	if err := HBar(&sb, []string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Error("length mismatch should error")
+	}
+	// All-zero values should render without division by zero.
+	var sb2 strings.Builder
+	if err := HBar(&sb2, []string{"z"}, []float64{0}, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeat(t *testing.T) {
+	var sb strings.Builder
+	rows := [][]float64{{0, 0.05, 0.2}, {0.4, 0.6, 0}}
+	err := Heat(&sb, func(b int) []float64 { return rows[b] }, 2, 3,
+		func(b int) string { return "row" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, ch := range []string{".", "o", "O", "@"} {
+		if !strings.Contains(out, ch) {
+			t.Errorf("missing shade %q in:\n%s", ch, out)
+		}
+	}
+	err = Heat(&sb, func(b int) []float64 { return []float64{1} }, 1, 3,
+		func(b int) string { return "" })
+	if err == nil {
+		t.Error("row width mismatch should error")
+	}
+}
+
+func TestDensityShades(t *testing.T) {
+	cases := map[int]byte{0: ' ', 1: '.', 4: 'o', 10: 'O', 100: '@'}
+	for n, want := range cases {
+		if got := density(n); got != want {
+			t.Errorf("density(%d) = %c, want %c", n, got, want)
+		}
+	}
+}

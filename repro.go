@@ -1,0 +1,94 @@
+// Package repro is a Go implementation of Design Space Analysis (DSA),
+// reproducing "Design Space Analysis for Modeling Incentives in
+// Distributed Systems" (Rahman, Vinkó, Hales, Pouwelse, Sips —
+// SIGCOMM 2011).
+//
+// The root package is a thin facade over the implementation packages:
+//
+//   - internal/game      — 2×2 games, the BitTorrent Dilemma, iterated
+//     strategies and Axelrod tournaments (Section 2.1).
+//   - internal/analytic  — the expected-game-wins model and the Nash
+//     equilibrium analysis of Birds vs BitTorrent (Section 2.2 +
+//     Appendix).
+//   - internal/design    — the 3270-protocol file-swarming design space
+//     (Section 4.2).
+//   - internal/cyclesim  — the cycle-based simulation model
+//     (Section 4.3.1).
+//   - internal/pra       — the Performance/Robustness/Aggressiveness
+//     quantification (Sections 3.2, 4.3).
+//   - internal/core      — the domain-agnostic DSA framework with
+//     exhaustive and heuristic explorers (Sections 3, 7).
+//   - internal/swarm     — the piece-level BitTorrent swarm simulator
+//     used for validation (Section 5).
+//   - internal/gossip    — DSA applied to the gossip domain
+//     (Sections 3.1, 7).
+//
+// The type aliases and constructors here cover the common workflow:
+// enumerate or pick protocols, quantify them with PRA, and validate
+// winners in the swarm simulator. See examples/ for runnable programs
+// and cmd/ for the tools that regenerate every figure and table.
+package repro
+
+import (
+	"repro/internal/design"
+	"repro/internal/exp"
+	"repro/internal/pra"
+	"repro/internal/swarm"
+)
+
+// Protocol is one point in the file-swarming design space.
+type Protocol = design.Protocol
+
+// Config scales the PRA quantification.
+type Config = pra.Config
+
+// Scores holds Performance, Robustness and Aggressiveness per protocol.
+type Scores = pra.Scores
+
+// SweepResult bundles PRA scores with figure/table extractors.
+type SweepResult = exp.SweepResult
+
+// SwarmConfig describes a Section 5 swarm experiment.
+type SwarmConfig = swarm.Config
+
+// Client is a swarm client variant (BitTorrent, Birds, ...).
+type Client = swarm.Client
+
+// Swarm client variants.
+const (
+	BT     = swarm.ClientBT
+	Birds  = swarm.ClientBirds
+	Loyal  = swarm.ClientLoyal
+	SortS  = swarm.ClientSortS
+	Random = swarm.ClientRandom
+)
+
+// Protocols returns the full 3270-protocol design space in ID order.
+func Protocols() []Protocol { return design.Enumerate() }
+
+// Named returns the paper's named protocols (BitTorrent, Birds,
+// LoyalWhenNeeded, SortS, SortRandom, MostRobust, Freerider).
+func Named() map[string]Protocol { return design.Named() }
+
+// QuickConfig returns the reduced-scale PRA configuration.
+func QuickConfig() Config { return pra.Quick() }
+
+// PaperConfig returns the full Section 4.3 configuration (50 peers,
+// 500 rounds, 100 performance runs, 10 runs per encounter, full
+// round-robin — the paper's 25-cluster-hour experiment).
+func PaperConfig() Config { return pra.Paper() }
+
+// RunPRA quantifies the given protocols (nil = whole space).
+func RunPRA(protocols []Protocol, cfg Config) (*SweepResult, error) {
+	return exp.Sweep(protocols, cfg)
+}
+
+// DefaultSwarm returns the Section 5 swarm setup (5 MiB file, 128 KiB/s
+// seeder, 10 s choke interval).
+func DefaultSwarm() SwarmConfig { return swarm.Default() }
+
+// SwarmEncounter runs client a against client b across composition
+// fractions, as in Figure 9.
+func SwarmEncounter(a, b Client, fracs []float64, leechers, runs int, cfg SwarmConfig) ([]swarm.MixPoint, error) {
+	return swarm.EncounterSeries(a, b, fracs, leechers, runs, cfg)
+}

@@ -1,0 +1,44 @@
+package repro
+
+import "testing"
+
+func TestFacadeProtocols(t *testing.T) {
+	ps := Protocols()
+	if len(ps) != 3270 {
+		t.Fatalf("space size = %d, want 3270", len(ps))
+	}
+	named := Named()
+	if _, ok := named["Birds"]; !ok {
+		t.Error("Birds missing from Named()")
+	}
+}
+
+func TestFacadePRA(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Peers, cfg.Rounds, cfg.Opponents, cfg.PerfRuns = 12, 40, 4, 1
+	res, err := RunPRA([]Protocol{Named()["BitTorrent"], Named()["Freerider"]}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores.Performance) != 2 {
+		t.Fatal("scores missing")
+	}
+	if res.Scores.Performance[1] >= res.Scores.Performance[0] {
+		t.Error("freerider should underperform BitTorrent")
+	}
+}
+
+func TestFacadeSwarm(t *testing.T) {
+	cfg := DefaultSwarm()
+	cfg.FileKiB, cfg.PieceKiB = 512, 128
+	pts, err := SwarmEncounter(Birds, BT, []float64{0.5}, 8, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].CountA != 4 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if PaperConfig().Peers != 50 {
+		t.Error("paper config wrong")
+	}
+}

@@ -5,7 +5,16 @@
 // Usage:
 //
 //	dsa-report -in results.csv fig2|fig3|fig4|fig5|fig6|fig7|fig8|table3|top
-//	dsa-report validate|churn   [-preset quick] [-stride N]
+//	dsa-report -checkpoint DIR fig2|...|top
+//	dsa-report -checkpoint DIR -out results.csv merge
+//	dsa-report [-preset quick] [-stride N] validate|churn
+//
+// -checkpoint reads the scores straight out of a dsa-sweep checkpoint
+// directory (the merged manifests of one or more shard processes)
+// instead of a CSV; merge additionally writes the assembled scores to
+// the standard CSV for downstream tooling. To merge shards that ran on
+// separate machines, copy every shard dir's manifest-*.jsonl and
+// task-*.json next to one spec.json first.
 package main
 
 import (
@@ -27,13 +36,15 @@ func main() {
 	log.SetPrefix("dsa-report: ")
 	var (
 		in     = flag.String("in", "results.csv", "CSV produced by dsa-sweep")
+		ckpt   = flag.String("checkpoint", "", "dsa-sweep checkpoint dir to read instead of -in")
+		out    = flag.String("out", "results.csv", "output CSV path (merge)")
 		preset = flag.String("preset", "quick", "quick or paper (validate/churn)")
 		stride = flag.Int("stride", 30, "protocol stride for validate/churn")
 		seed   = flag.Int64("seed", 1, "master seed for validate/churn")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: dsa-report [flags] fig2|fig3|fig4|fig5|fig6|fig7|fig8|table3|top|validate|churn")
+		log.Fatal("usage: dsa-report [flags] fig2|fig3|fig4|fig5|fig6|fig7|fig8|table3|top|merge|validate|churn")
 	}
 	what := flag.Arg(0)
 
@@ -43,12 +54,32 @@ func main() {
 		return
 	}
 
-	res, err := load(*in)
+	var res *exp.SweepResult
+	var err error
+	if *ckpt != "" {
+		res, err = exp.LoadCheckpoint(*ckpt)
+	} else if what == "merge" {
+		err = fmt.Errorf("merge needs -checkpoint")
+	} else {
+		res, err = load(*in)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	w := os.Stdout
 	switch what {
+	case "merge":
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("merged %s into %s (%d rows)", *ckpt, *out, len(res.Protocols))
 	case "fig2":
 		xs, ys := res.Fig2()
 		fmt.Fprintf(w, "Figure 2: Robustness vs Performance, %d protocols\n", len(xs))

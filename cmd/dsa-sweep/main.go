@@ -6,6 +6,8 @@
 //	dsa-sweep [-preset quick|paper] [-stride N] [-opponents N]
 //	          [-peers N] [-rounds N] [-perfruns N] [-encruns N]
 //	          [-seed N] [-out results.csv] [-explore]
+//	          [-checkpoint-dir DIR] [-resume]
+//	          [-shards N] [-shard-index I] [-chunk N]
 //
 // The quick preset reproduces the shape of Figures 2-8 and Table 3 in
 // minutes on a laptop; the paper preset is the full 107-million-run
@@ -14,18 +16,38 @@
 // shrinking the protocol set itself. -explore additionally runs the
 // Section 7 heuristic explorers (hill climbing and evolutionary search)
 // against homogeneous performance and prints what they find.
+//
+// Paper-scale runs go through the job engine (internal/job):
+// -checkpoint-dir journals every completed task so an interrupted run
+// (Ctrl-C, crash, kill) restarted with -resume skips finished work and
+// produces byte-identical scores. -shards N -shard-index I runs shard I
+// of an N-way split — launch N processes (or machines) with the same
+// flags and distinct indices, give each its own checkpoint dir (or
+// share one on a common filesystem), then merge with
+//
+//	dsa-report -checkpoint DIR -out results.csv merge
+//
+// after copying the shard dirs' manifest-*.jsonl and task-*.json files
+// together. The shard that finishes last assembles and writes the CSV
+// itself when the dirs are shared.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/design"
 	"repro/internal/exp"
+	"repro/internal/job"
 	"repro/internal/pra"
 )
 
@@ -43,6 +65,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "master seed")
 		out       = flag.String("out", "results.csv", "output CSV path")
 		explore   = flag.Bool("explore", false, "also run the heuristic explorers")
+		ckptDir   = flag.String("checkpoint-dir", "", "journal completed work here; survives interruption")
+		resume    = flag.Bool("resume", false, "continue from an existing checkpoint dir, skipping finished tasks")
+		shards    = flag.Int("shards", 1, "total shard processes splitting this sweep")
+		shardIdx  = flag.Int("shard-index", 0, "this process's shard in [0,shards)")
+		chunk     = flag.Int("chunk", 0, "protocols per job task (0 = default)")
 	)
 	flag.Parse()
 
@@ -74,18 +101,66 @@ func main() {
 	if *stride < 1 {
 		log.Fatal("stride must be >= 1")
 	}
+	if *shards < 1 || *shardIdx < 0 || *shardIdx >= *shards {
+		log.Fatalf("need 1 <= shards and 0 <= shard-index < shards, got %d/%d", *shardIdx, *shards)
+	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume needs -checkpoint-dir")
+	}
+	if *shards > 1 && *ckptDir == "" {
+		// Without a journal a shard's results evaporate on exit and
+		// there is nothing to merge.
+		log.Fatal("-shards needs -checkpoint-dir, or the shard results cannot be merged")
+	}
+	if *ckptDir != "" && !*resume && *shards == 1 {
+		// Refuse to silently mix a new run into old state; the job
+		// engine would reject an incompatible spec anyway, but a
+		// compatible leftover dir deserves an explicit choice. With
+		// -shards > 1 sharing a dir is the documented workflow, so
+		// concurrently-started shards are exempt.
+		if entries, err := os.ReadDir(*ckptDir); err == nil && len(entries) > 0 {
+			log.Fatalf("checkpoint dir %s is not empty; pass -resume to continue it or pick a fresh dir", *ckptDir)
+		}
+	}
 
 	all := design.Enumerate()
 	var protos []design.Protocol
 	for i := 0; i < len(all); i += *stride {
 		protos = append(protos, all[i])
 	}
-	log.Printf("sweeping %d protocols (%s preset, %d peers, %d rounds, %d opponents)",
-		len(protos), *preset, cfg.Peers, cfg.Rounds, cfg.Opponents)
+	log.Printf("sweeping %d protocols (%s preset, %d peers, %d rounds, %d opponents, shard %d/%d)",
+		len(protos), *preset, cfg.Peers, cfg.Rounds, cfg.Opponents, *shardIdx, *shards)
+
+	// First Ctrl-C / SIGTERM cancels the sweep cleanly: in-flight
+	// tasks drain (and are journalled), no new ones start. Once the
+	// cancellation fires the handler unregisters itself, so a second
+	// signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 
 	start := time.Now()
-	res, err := exp.Sweep(protos, cfg)
-	if err != nil {
+	res, err := exp.SweepJob(ctx, protos, cfg, job.Options{
+		Dir:        *ckptDir,
+		Shards:     *shards,
+		ShardIndex: *shardIdx,
+		Chunk:      *chunk,
+		Progress:   progressLogger(),
+	})
+	switch {
+	case errors.Is(err, job.ErrIncomplete):
+		log.Printf("shard %d/%d done in %v; %v", *shardIdx, *shards, time.Since(start).Round(time.Second), err)
+		log.Printf("merge once all shards finish: dsa-report -checkpoint %s -out %s merge", *ckptDir, *out)
+		return
+	case errors.Is(err, context.Canceled):
+		if *ckptDir != "" {
+			log.Fatalf("interrupted after %v; rerun with -resume -checkpoint-dir %s to continue", time.Since(start).Round(time.Second), *ckptDir)
+		}
+		log.Fatal("interrupted (no -checkpoint-dir, progress lost)")
+	case err != nil:
 		log.Fatal(err)
 	}
 	log.Printf("sweep done in %v", time.Since(start).Round(time.Second))
@@ -104,6 +179,29 @@ func main() {
 
 	if *explore {
 		runExplorers(cfg)
+	}
+}
+
+// progressLogger returns a job progress callback that logs at most one
+// line every few seconds: task counts, elapsed time, and an ETA for
+// this process's remaining share.
+func progressLogger() func(job.Progress) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(p job.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		done := p.FreshTasks >= p.MineTasks
+		if !done && time.Since(last) < 5*time.Second {
+			return
+		}
+		last = time.Now()
+		eta := "n/a"
+		if p.ETA > 0 {
+			eta = p.ETA.Round(time.Second).String()
+		}
+		log.Printf("progress: %d/%d tasks (%d this run), elapsed %v, ETA %s",
+			p.DoneTasks, p.TotalTasks, p.FreshTasks, p.Elapsed.Round(time.Second), eta)
 	}
 }
 

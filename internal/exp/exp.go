@@ -5,11 +5,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/analytic"
 	"repro/internal/design"
+	"repro/internal/job"
 	"repro/internal/pra"
 	"repro/internal/stats"
 	"repro/internal/swarm"
@@ -23,16 +25,39 @@ type SweepResult struct {
 }
 
 // Sweep runs the PRA quantification over the given protocols (nil =
-// the whole 3270-protocol space).
+// the whole 3270-protocol space). It is a thin wrapper over the job
+// engine with sharding and checkpointing off; use SweepJob for
+// paper-scale runs that need either.
 func Sweep(protos []design.Protocol, cfg pra.Config) (*SweepResult, error) {
+	return SweepJob(context.Background(), protos, cfg, job.Options{})
+}
+
+// SweepJob runs the sweep on the sharded, checkpointed job engine: the
+// work is cut into deterministic (score kind × protocol chunk) tasks,
+// this process executes its shard's share on a worker pool, completed
+// tasks are journalled to opts.Dir, and a cancelled or killed run
+// resumes where it left off. See package job. If other shards still
+// own outstanding tasks it returns job.ErrIncomplete.
+func SweepJob(ctx context.Context, protos []design.Protocol, cfg pra.Config, opts job.Options) (*SweepResult, error) {
 	if protos == nil {
 		protos = design.Enumerate()
 	}
-	scores, err := pra.Run(protos, cfg)
+	scores, err := job.Run(ctx, protos, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &SweepResult{Protocols: protos, Scores: scores}, nil
+}
+
+// LoadCheckpoint reassembles a checkpointed sweep — possibly written by
+// several shard processes whose manifests were merged into dir —
+// without running any simulation.
+func LoadCheckpoint(dir string) (*SweepResult, error) {
+	scores, err := job.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{Protocols: scores.Protocols, Scores: scores}, nil
 }
 
 // Fig2 returns the Robustness (x) and Performance (y) coordinates of

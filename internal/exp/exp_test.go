@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/design"
+	"repro/internal/job"
 	"repro/internal/pra"
 	"repro/internal/swarm"
 )
@@ -35,6 +38,32 @@ func sweepForTest(t *testing.T) *SweepResult {
 		t.Fatal(err)
 	}
 	return r
+}
+
+func TestSweepJobCheckpointRoundTrip(t *testing.T) {
+	ps := subset(400)
+	want, err := Sweep(ps, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	got, err := SweepJob(context.Background(), ps, tinyCfg(), job.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Scores, want.Scores) {
+		t.Fatal("checkpointed SweepJob does not match plain Sweep")
+	}
+	loaded, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Scores, want.Scores) {
+		t.Fatal("LoadCheckpoint does not match plain Sweep")
+	}
+	if !reflect.DeepEqual(loaded.Protocols, want.Protocols) {
+		t.Fatal("LoadCheckpoint protocol list does not match")
+	}
 }
 
 func TestSweepAndFig2(t *testing.T) {

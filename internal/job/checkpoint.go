@@ -1,0 +1,308 @@
+package job
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/design"
+	"repro/internal/pra"
+)
+
+// Checkpoint layout under one directory:
+//
+//	spec.json                    — the sweep Spec (config, chunking,
+//	                               protocol IDs); written once, verified
+//	                               on every open so a resume can never
+//	                               silently mix incompatible results
+//	manifest-s<I>of<N>.jsonl     — append-only journal, one line per
+//	                               completed task, written by shard I of
+//	                               N; a resumed or re-sharded run opens
+//	                               its own file, and loading always
+//	                               merges every manifest-*.jsonl present
+//	task-<id>.json               — one result file per completed task
+//	                               (the values the manifest line points
+//	                               at), written atomically via rename
+//
+// A crash can lose at most the in-flight tasks: a torn manifest line or
+// a missing/invalid result file makes that task re-run, never
+// mis-merge. Shard processes on different machines use separate dirs
+// and the manifests + task files are simply copied together for the
+// merge.
+
+const specFileName = "spec.json"
+
+type specJSON struct {
+	Version     int        `json:"version"`
+	Config      configJSON `json:"config"`
+	Chunk       int        `json:"chunk"`
+	ProtocolIDs []int      `json:"protocol_ids"`
+}
+
+// configJSON is the result-affecting subset of pra.Config. Workers is
+// deliberately absent: it changes speed, never values.
+type configJSON struct {
+	Peers         int     `json:"peers"`
+	Rounds        int     `json:"rounds"`
+	PerfRuns      int     `json:"perf_runs"`
+	EncounterRuns int     `json:"encounter_runs"`
+	Opponents     int     `json:"opponents"`
+	Seed          int64   `json:"seed"`
+	Churn         float64 `json:"churn"`
+}
+
+func specToJSON(s Spec) specJSON {
+	ids := make([]int, len(s.Protos))
+	for i, p := range s.Protos {
+		ids[i] = design.ID(p)
+	}
+	return specJSON{
+		Version: 1,
+		Config: configJSON{
+			Peers: s.Cfg.Peers, Rounds: s.Cfg.Rounds,
+			PerfRuns: s.Cfg.PerfRuns, EncounterRuns: s.Cfg.EncounterRuns,
+			Opponents: s.Cfg.Opponents, Seed: s.Cfg.Seed, Churn: s.Cfg.Churn,
+		},
+		Chunk:       s.chunk(),
+		ProtocolIDs: ids,
+	}
+}
+
+func specFromJSON(sj specJSON) (Spec, error) {
+	protos := make([]design.Protocol, len(sj.ProtocolIDs))
+	for i, id := range sj.ProtocolIDs {
+		p, err := design.ByID(id)
+		if err != nil {
+			return Spec{}, fmt.Errorf("job: checkpoint spec: %w", err)
+		}
+		protos[i] = p
+	}
+	return Spec{
+		Protos: protos,
+		Cfg: pra.Config{
+			Peers: sj.Config.Peers, Rounds: sj.Config.Rounds,
+			PerfRuns: sj.Config.PerfRuns, EncounterRuns: sj.Config.EncounterRuns,
+			Opponents: sj.Config.Opponents, Seed: sj.Config.Seed, Churn: sj.Config.Churn,
+		},
+		Chunk: sj.Chunk,
+	}, nil
+}
+
+type manifestEntry struct {
+	Task      string `json:"task"`
+	File      string `json:"file"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+type resultFile struct {
+	Task   string    `json:"task"`
+	Kind   string    `json:"kind"`
+	Lo     int       `json:"lo"`
+	Hi     int       `json:"hi"`
+	Values []float64 `json:"values"`
+}
+
+// checkpoint is one process's open handle on a checkpoint directory.
+type checkpoint struct {
+	dir       string
+	mu        sync.Mutex
+	manifest  *os.File
+	completed map[string][]float64 // restored at open
+}
+
+// openCheckpoint prepares dir for (spec, shard shardIndex of shards):
+// it creates the directory, writes or verifies spec.json, restores
+// every completed task from existing manifests, and opens this shard's
+// manifest for appending.
+func openCheckpoint(dir string, spec Spec, shards, shardIndex int) (*checkpoint, error) {
+	if spec.Cfg.Dist != nil {
+		return nil, fmt.Errorf("job: checkpointing with a custom bandwidth distribution is not supported (cannot be recorded in spec.json)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("job: checkpoint dir: %w", err)
+	}
+	want := specToJSON(spec)
+	specPath := filepath.Join(dir, specFileName)
+	if raw, err := os.ReadFile(specPath); err == nil {
+		var have specJSON
+		if err := json.Unmarshal(raw, &have); err != nil {
+			return nil, fmt.Errorf("job: corrupt %s: %w", specPath, err)
+		}
+		switch {
+		case have.Config != want.Config:
+			return nil, fmt.Errorf("job: checkpoint %s was written with a different configuration (have %+v, want %+v)", dir, have.Config, want.Config)
+		case have.Chunk != want.Chunk:
+			return nil, fmt.Errorf("job: checkpoint %s uses chunk %d, this run wants %d", dir, have.Chunk, want.Chunk)
+		case !slices.Equal(have.ProtocolIDs, want.ProtocolIDs):
+			return nil, fmt.Errorf("job: checkpoint %s covers a different protocol set (%d protocols, this run sweeps %d)", dir, len(have.ProtocolIDs), len(want.ProtocolIDs))
+		}
+	} else if os.IsNotExist(err) {
+		if err := writeFileAtomic(specPath, mustJSON(want)); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, fmt.Errorf("job: checkpoint spec: %w", err)
+	}
+
+	completed, err := readCompleted(dir, spec)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("manifest-s%dof%d.jsonl", shardIndex, shards)
+	mf, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("job: open manifest: %w", err)
+	}
+	return &checkpoint{dir: dir, manifest: mf, completed: completed}, nil
+}
+
+// record persists one finished task: the result file first (atomic
+// rename), then the manifest line that makes it count, synced so a
+// crash right after record loses nothing.
+func (c *checkpoint) record(t Task, values []float64, elapsed time.Duration) error {
+	rf := resultFile{Task: t.ID(), Kind: t.Kind.String(), Lo: t.Lo, Hi: t.Hi, Values: values}
+	name := "task-" + t.ID() + ".json"
+	if err := writeFileAtomic(filepath.Join(c.dir, name), mustJSON(rf)); err != nil {
+		return err
+	}
+	line := append(mustJSON(manifestEntry{Task: t.ID(), File: name, ElapsedMS: elapsed.Milliseconds()}), '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.manifest.Write(line); err != nil {
+		return fmt.Errorf("job: append manifest: %w", err)
+	}
+	if err := c.manifest.Sync(); err != nil {
+		return fmt.Errorf("job: sync manifest: %w", err)
+	}
+	return nil
+}
+
+func (c *checkpoint) close() error {
+	return c.manifest.Close()
+}
+
+// readCompleted merges every manifest in dir into task-ID → values.
+// Entries that are torn, missing their result file, or inconsistent
+// with the spec's task list are skipped — the engine just re-runs those
+// tasks — so a crash mid-write can never corrupt a resumed sweep.
+func readCompleted(dir string, spec Spec) (map[string][]float64, error) {
+	valid := make(map[string]Task)
+	for _, t := range spec.Tasks() {
+		valid[t.ID()] = t
+	}
+	manifests, err := filepath.Glob(filepath.Join(dir, "manifest-*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	slices.Sort(manifests)
+	out := make(map[string][]float64)
+	for _, path := range manifests {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("job: read manifest: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			var e manifestEntry
+			if json.Unmarshal(sc.Bytes(), &e) != nil {
+				continue // torn write from a crash
+			}
+			t, ok := valid[e.Task]
+			if !ok {
+				continue
+			}
+			if _, have := out[e.Task]; have {
+				continue
+			}
+			if vals, ok := readResult(filepath.Join(dir, e.File), t); ok {
+				out[e.Task] = vals
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("job: read manifest %s: %w", path, err)
+		}
+	}
+	return out, nil
+}
+
+func readResult(path string, t Task) ([]float64, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var rf resultFile
+	if json.Unmarshal(raw, &rf) != nil {
+		return nil, false
+	}
+	if rf.Task != t.ID() || rf.Lo != t.Lo || rf.Hi != t.Hi || rf.Kind != t.Kind.String() || len(rf.Values) != t.Hi-t.Lo {
+		return nil, false
+	}
+	return rf.Values, true
+}
+
+// loadCheckpoint reads dir without a target spec: the spec comes from
+// spec.json. Used by Load (merge/report without re-running).
+func loadCheckpoint(dir string) (Spec, map[string][]float64, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, specFileName))
+	if err != nil {
+		return Spec{}, nil, fmt.Errorf("job: not a checkpoint dir: %w", err)
+	}
+	var sj specJSON
+	if err := json.Unmarshal(raw, &sj); err != nil {
+		return Spec{}, nil, fmt.Errorf("job: corrupt %s: %w", specFileName, err)
+	}
+	spec, err := specFromJSON(sj)
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	completed, err := readCompleted(dir, spec)
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	return spec, completed, nil
+}
+
+// writeFileAtomic writes via a uniquely-named temp file in the same
+// directory plus rename. The unique name matters: concurrently started
+// shard processes race to write an identical spec.json, and a shared
+// temp path would let one process rename the file away between
+// another's write and rename.
+func writeFileAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("job: write %s: %w", path, err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp, 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("job: write %s: %w", path, werr)
+	}
+	return nil
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("job: marshal: " + err.Error())
+	}
+	return b
+}

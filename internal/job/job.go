@@ -1,0 +1,318 @@
+// Package job is the sharded, checkpointed execution engine behind PRA
+// sweeps. The paper's headline experiment — quantifying all 3270
+// protocols at Section 4.3 scale — cost ~25 cluster-hours, so a sweep
+// must be splittable across processes and machines and must survive
+// interruption.
+//
+// A sweep decomposes into deterministic tasks: one (score kind ×
+// protocol chunk) slice each, computed by pra.ScoreSlice. Seeds derive
+// from protocol identity (pra's runSeed scheme), so task results are
+// identical regardless of chunk size, shard count, worker count or
+// scheduling order — sharded runs merge to byte-identical Scores.
+//
+// Tasks are distributed round-robin over opts.Shards shard processes;
+// each process executes its share on a bounded worker pool with context
+// cancellation, checkpointing every completed task to a JSONL manifest
+// plus a per-task result file (see checkpoint.go). Restarting with the
+// same checkpoint directory skips completed tasks and merges their
+// cached values; the process whose run completes the final outstanding
+// task assembles and returns the full Scores, while earlier shards
+// return ErrIncomplete.
+package job
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/design"
+	"repro/internal/pra"
+)
+
+// DefaultChunk is the number of protocols per task: small enough that a
+// paper-scale sweep yields hundreds of tasks (fine-grained progress,
+// cheap loss on interruption), large enough to amortise bookkeeping.
+const DefaultChunk = 32
+
+// Task is one schedulable unit: compute one score kind for the
+// half-open protocol index range [Lo,Hi) of the sweep's protocol list.
+type Task struct {
+	Kind   pra.ScoreKind
+	Lo, Hi int
+}
+
+// ID returns the task's stable identifier, used as the checkpoint key
+// and result file stem.
+func (t Task) ID() string {
+	return fmt.Sprintf("%s-%05d-%05d", t.Kind, t.Lo, t.Hi)
+}
+
+// Spec pins down a sweep completely: the protocol list, the PRA
+// configuration and the chunking. Two runs with equal specs enumerate
+// equal task lists and produce equal results.
+type Spec struct {
+	Protos []design.Protocol
+	Cfg    pra.Config
+	Chunk  int // protocols per task; 0 = DefaultChunk
+}
+
+func (s Spec) chunk() int {
+	if s.Chunk > 0 {
+		return s.Chunk
+	}
+	return DefaultChunk
+}
+
+// Tasks enumerates the sweep's tasks in deterministic order: protocol
+// chunks of each score kind, kinds in pra.Kinds order.
+func (s Spec) Tasks() []Task {
+	var out []Task
+	for _, k := range pra.Kinds {
+		for lo := 0; lo < len(s.Protos); lo += s.chunk() {
+			out = append(out, Task{Kind: k, Lo: lo, Hi: min(lo+s.chunk(), len(s.Protos))})
+		}
+	}
+	return out
+}
+
+// Progress is a snapshot passed to the Options.Progress callback after
+// every completed task.
+type Progress struct {
+	TotalTasks int           // tasks in the whole sweep, across all shards
+	DoneTasks  int           // completed overall: checkpoint-restored + this run's
+	FreshTasks int           // completed by this process during this run
+	MineTasks  int           // tasks this process owns (fresh + still pending)
+	Elapsed    time.Duration // since this Run started
+	ETA        time.Duration // projected remaining time for this process's tasks
+}
+
+// Options controls sharding, checkpointing and reporting. The zero
+// value runs the whole sweep in-process with no checkpointing.
+type Options struct {
+	Dir        string // checkpoint directory; "" disables checkpointing
+	Shards     int    // total shard processes; <= 0 means 1
+	ShardIndex int    // this process's shard in [0,Shards)
+	Chunk      int    // protocols per task; 0 = DefaultChunk
+	Workers    int    // task-level workers; 0 = Cfg.Workers or GOMAXPROCS
+	// Progress, if non-nil, is called after every completed task.
+	// Calls are serialized (never concurrent), but may come from any
+	// worker goroutine; keep the callback fast — it blocks result
+	// recording.
+	Progress func(Progress)
+}
+
+// ErrIncomplete reports that this process's share of the sweep is done
+// and checkpointed, but tasks owned by other shards are still
+// outstanding, so the merged Scores cannot be assembled yet.
+var ErrIncomplete = errors.New("job: sweep incomplete")
+
+// Run executes the sweep described by (protos, cfg) — nil protos means
+// the whole design space — under the given options and returns the
+// merged Scores once every task of every shard is accounted for.
+//
+// With Options.Dir set, completed tasks are read back from the
+// checkpoint before any work starts and each fresh task is persisted as
+// it finishes, so a killed or cancelled run resumes where it left off.
+// If this process finishes its shard while other shards' tasks remain,
+// Run returns ErrIncomplete (wrapped with counts).
+func Run(ctx context.Context, protos []design.Protocol, cfg pra.Config, opts Options) (*pra.Scores, error) {
+	if protos == nil {
+		protos = design.Enumerate()
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if opts.ShardIndex < 0 || opts.ShardIndex >= shards {
+		return nil, fmt.Errorf("job: shard index %d out of range [0,%d)", opts.ShardIndex, shards)
+	}
+	spec := Spec{Protos: protos, Cfg: cfg, Chunk: opts.Chunk}
+	tasks := spec.Tasks()
+
+	results := make(map[string][]float64, len(tasks))
+	var cp *checkpoint
+	if opts.Dir != "" {
+		var err error
+		cp, err = openCheckpoint(opts.Dir, spec, shards, opts.ShardIndex)
+		if err != nil {
+			return nil, err
+		}
+		defer cp.close()
+		for id, vals := range cp.completed {
+			results[id] = vals
+		}
+	}
+
+	// Round-robin task ownership: task i belongs to shard i mod shards.
+	// Interleaving (rather than contiguous ranges) spreads the cheap
+	// performance tasks and the expensive tournament tasks evenly, so
+	// equally-sized shards take similar wall time.
+	var mine []Task
+	for i, t := range tasks {
+		if i%shards != opts.ShardIndex {
+			continue
+		}
+		if _, done := results[t.ID()]; done {
+			continue
+		}
+		mine = append(mine, t)
+	}
+
+	if err := runPool(ctx, spec, mine, cp, results, opts, len(tasks)); err != nil {
+		return nil, err
+	}
+	if cp != nil && len(results) < len(tasks) {
+		// Concurrently running shards may have journalled more tasks
+		// since we opened the checkpoint; pick them up so the shard
+		// that finishes last assembles the full result.
+		latest, err := readCompleted(opts.Dir, spec)
+		if err != nil {
+			return nil, err
+		}
+		for id, vals := range latest {
+			if _, ok := results[id]; !ok {
+				results[id] = vals
+			}
+		}
+	}
+	if len(results) < len(tasks) {
+		return nil, fmt.Errorf("%w: %d of %d tasks done (merge after the remaining shards finish)",
+			ErrIncomplete, len(results), len(tasks))
+	}
+	return assemble(spec, results)
+}
+
+// runPool executes the pending tasks on a bounded worker pool. results
+// and cp are updated under mu as tasks finish; the first task error or
+// a context cancellation stops the pool.
+func runPool(ctx context.Context, spec Spec, mine []Task, cp *checkpoint, results map[string][]float64, opts Options, total int) error {
+	if len(mine) == 0 {
+		return ctx.Err()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = spec.Cfg.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	poolSize := min(workers, len(mine))
+	// Parallelism lives at the task level; when there are fewer tasks
+	// than workers, give each task's inner pra calls the spare share
+	// so small sweeps still use the machine. Inner worker count never
+	// affects values, only speed.
+	taskCfg := spec.Cfg
+	taskCfg.Workers = max(1, workers/poolSize)
+	opponents := pra.SampleOpponents(spec.Cfg)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	start := time.Now()
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		fresh   int
+		firstEr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstEr == nil {
+			firstEr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	next := make(chan Task)
+	wg.Add(poolSize)
+	for w := 0; w < poolSize; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				if ctx.Err() != nil {
+					return
+				}
+				taskStart := time.Now()
+				vals, err := pra.ScoreSlice(t.Kind, spec.Protos[t.Lo:t.Hi], opponents, taskCfg)
+				if err != nil {
+					fail(fmt.Errorf("job: task %s: %w", t.ID(), err))
+					return
+				}
+				if cp != nil {
+					if err := cp.record(t, vals, time.Since(taskStart)); err != nil {
+						fail(err)
+						return
+					}
+				}
+				mu.Lock()
+				results[t.ID()] = vals
+				fresh++
+				snap := Progress{
+					TotalTasks: total,
+					DoneTasks:  len(results),
+					FreshTasks: fresh,
+					MineTasks:  len(mine),
+					Elapsed:    time.Since(start),
+				}
+				if left := len(mine) - fresh; left > 0 {
+					snap.ETA = time.Duration(int64(snap.Elapsed) / int64(fresh) * int64(left))
+				}
+				if opts.Progress != nil {
+					opts.Progress(snap)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, t := range mine {
+		select {
+		case next <- t:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstEr != nil {
+		return firstEr
+	}
+	return ctx.Err()
+}
+
+// assemble stitches per-task value slices into the merged Scores,
+// applying the set-wide performance normalisation last.
+func assemble(spec Spec, results map[string][]float64) (*pra.Scores, error) {
+	raw := make(map[pra.ScoreKind][]float64, len(pra.Kinds))
+	for _, k := range pra.Kinds {
+		raw[k] = make([]float64, len(spec.Protos))
+	}
+	for _, t := range spec.Tasks() {
+		vals, ok := results[t.ID()]
+		if !ok {
+			return nil, fmt.Errorf("job: task %s missing from results", t.ID())
+		}
+		if len(vals) != t.Hi-t.Lo {
+			return nil, fmt.Errorf("job: task %s has %d values, want %d", t.ID(), len(vals), t.Hi-t.Lo)
+		}
+		copy(raw[t.Kind][t.Lo:t.Hi], vals)
+	}
+	return pra.Assemble(spec.Protos, raw)
+}
+
+// Load reassembles the Scores of a checkpointed sweep — possibly
+// written by several shard processes whose manifests share (or were
+// copied into) dir — without running any simulation. It returns
+// ErrIncomplete (wrapped with counts) if tasks are still outstanding.
+func Load(dir string) (*pra.Scores, error) {
+	spec, results, err := loadCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(spec.Tasks()); len(results) < n {
+		return nil, fmt.Errorf("%w: %d of %d tasks done in %s", ErrIncomplete, len(results), n, dir)
+	}
+	return assemble(spec, results)
+}

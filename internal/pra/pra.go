@@ -25,7 +25,6 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/cyclesim"
 	"repro/internal/design"
-	"repro/internal/stats"
 )
 
 // Config scales the quantification. The zero value is not valid; start
@@ -347,29 +346,21 @@ type Scores struct {
 }
 
 // Run computes the PRA quantification for every protocol in ps using
-// the opponent panel from SampleOpponents.
+// the opponent panel from SampleOpponents. It is the single-process,
+// unsharded composition of the ScoreSlice primitives; internal/job
+// shards the same primitives across workers, processes and restarts.
 func Run(ps []design.Protocol, cfg Config) (*Scores, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	raw, err := PerformanceSweep(ps, cfg)
-	if err != nil {
-		return nil, err
-	}
 	opponents := SampleOpponents(cfg)
-	rob, err := TournamentScores(ps, opponents, 0.5, cfg)
-	if err != nil {
-		return nil, err
+	raw := make(map[ScoreKind][]float64, len(Kinds))
+	for _, k := range Kinds {
+		vals, err := ScoreSlice(k, ps, opponents, cfg)
+		if err != nil {
+			return nil, err
+		}
+		raw[k] = vals
 	}
-	agg, err := TournamentScores(ps, opponents, 0.1, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Scores{
-		Protocols:      ps,
-		RawPerformance: raw,
-		Performance:    stats.MinMaxNormalize(raw),
-		Robustness:     rob,
-		Aggressiveness: agg,
-	}, nil
+	return Assemble(ps, raw)
 }

@@ -1,0 +1,87 @@
+package pra
+
+import (
+	"fmt"
+
+	"repro/internal/design"
+	"repro/internal/stats"
+)
+
+// ScoreKind identifies one of the three PRA measures as a unit of
+// schedulable work. A full quantification is the cross product of the
+// three kinds with the protocol set; because every simulation seed
+// derives from protocol identity (runSeed), the work can be cut into
+// arbitrary protocol slices and recombined without changing a single
+// value.
+type ScoreKind int
+
+const (
+	KindPerformance ScoreKind = iota
+	KindRobustness
+	KindAggressiveness
+)
+
+// Kinds lists the score kinds in canonical (enumeration) order.
+var Kinds = []ScoreKind{KindPerformance, KindRobustness, KindAggressiveness}
+
+// String returns the kind's canonical lower-case name.
+func (k ScoreKind) String() string {
+	switch k {
+	case KindPerformance:
+		return "performance"
+	case KindRobustness:
+		return "robustness"
+	case KindAggressiveness:
+		return "aggressiveness"
+	}
+	return fmt.Sprintf("ScoreKind(%d)", int(k))
+}
+
+// ParseScoreKind is the inverse of String.
+func ParseScoreKind(s string) (ScoreKind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("pra: unknown score kind %q", s)
+}
+
+// ScoreSlice computes the raw scores of one kind for ps, a slice of a
+// (possibly larger) protocol set. Robustness and aggressiveness play
+// against the given opponent panel (see SampleOpponents); performance
+// ignores it. Seeds derive from protocol identity, not position, so
+// concatenating slice results equals a single full-set call — this is
+// the primitive the job engine shards over.
+//
+// Performance values are raw KiB/s: the paper's min-max normalisation
+// needs the whole set, so it happens in Assemble after merging.
+func ScoreSlice(k ScoreKind, ps, opponents []design.Protocol, cfg Config) ([]float64, error) {
+	switch k {
+	case KindPerformance:
+		return PerformanceSweep(ps, cfg)
+	case KindRobustness:
+		return TournamentScores(ps, opponents, 0.5, cfg)
+	case KindAggressiveness:
+		return TournamentScores(ps, opponents, 0.1, cfg)
+	}
+	return nil, fmt.Errorf("pra: unknown score kind %d", int(k))
+}
+
+// Assemble bundles per-kind raw score vectors into Scores, applying the
+// paper's min-max normalisation of performance over the evaluated set.
+// Every kind must be present and match len(ps).
+func Assemble(ps []design.Protocol, raw map[ScoreKind][]float64) (*Scores, error) {
+	for _, k := range Kinds {
+		if len(raw[k]) != len(ps) {
+			return nil, fmt.Errorf("pra: %s has %d values, want %d", k, len(raw[k]), len(ps))
+		}
+	}
+	return &Scores{
+		Protocols:      ps,
+		RawPerformance: raw[KindPerformance],
+		Performance:    stats.MinMaxNormalize(raw[KindPerformance]),
+		Robustness:     raw[KindRobustness],
+		Aggressiveness: raw[KindAggressiveness],
+	}, nil
+}

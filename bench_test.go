@@ -12,6 +12,7 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/cyclesim"
 	"repro/internal/design"
+	"repro/internal/dsa"
 	"repro/internal/exp"
 	"repro/internal/game"
 	"repro/internal/gossip"
@@ -313,6 +314,31 @@ func BenchmarkDesignEnumerate(b *testing.B) {
 		all := design.Enumerate()
 		if design.ID(all[len(all)-1]) != design.SpaceSize-1 {
 			b.Fatal("enumeration broken")
+		}
+	}
+}
+
+// BenchmarkGossipDomainSweep measures a small gossip sweep through the
+// generic domain engine (enumeration → ScoreSlice → Assemble), the
+// path dsa-sweep -domain gossip takes.
+func BenchmarkGossipDomainSweep(b *testing.B) {
+	d := gossip.Domain()
+	cfg := dsa.Config{Peers: 10, Rounds: 40, PerfRuns: 1, EncounterRuns: 1, Opponents: 3, Seed: 1}
+	all := d.Space().Enumerate()
+	pts := all[:12]
+	opponents := d.SampleOpponents(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := map[string][]float64{}
+		for _, m := range d.Measures() {
+			vals, err := d.ScoreSlice(m, pts, opponents, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			raw[m] = vals
+		}
+		if _, err := d.Assemble(pts, raw); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,6 +1,9 @@
-// Command dsa-report renders the paper's figures and tables from a
-// dsa-sweep CSV (Figures 2-8 and Table 3) or by running the extra
-// simulations they need (90-10 validation, churn sensitivity).
+// Command dsa-report renders sweep reports for any registered domain.
+// For the swarming domain it reproduces the paper's figures and tables
+// from a dsa-sweep CSV (Figures 2-8 and Table 3) or by running the
+// extra simulations they need (90-10 validation, churn sensitivity);
+// for every other domain it renders the generic reports (top, scatter)
+// from the domain CSV.
 //
 // Usage:
 //
@@ -8,11 +11,13 @@
 //	dsa-report -checkpoint DIR fig2|...|top
 //	dsa-report -checkpoint DIR -out results.csv merge
 //	dsa-report [-preset quick] [-stride N] validate|churn
+//	dsa-report -domain gossip [-in results.csv | -checkpoint DIR] top|scatter
+//	dsa-report -domain gossip -checkpoint DIR -out results.csv merge
 //
 // -checkpoint reads the scores straight out of a dsa-sweep checkpoint
 // directory (the merged manifests of one or more shard processes)
 // instead of a CSV; merge additionally writes the assembled scores to
-// the standard CSV for downstream tooling. To merge shards that ran on
+// the domain's CSV for downstream tooling. To merge shards that ran on
 // separate machines, copy every shard dir's manifest-*.jsonl and
 // task-*.json next to one spec.json first.
 package main
@@ -25,16 +30,22 @@ import (
 	"sort"
 
 	"repro/internal/design"
+	"repro/internal/dsa"
 	"repro/internal/exp"
+	"repro/internal/job"
 	"repro/internal/pra"
 	"repro/internal/report"
 	"repro/internal/stats"
+
+	// Register the domains this tool can report on.
+	_ "repro/internal/gossip"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsa-report: ")
 	var (
+		domain = flag.String("domain", pra.DomainName, "design space the input covers (swarming or gossip)")
 		in     = flag.String("in", "results.csv", "CSV produced by dsa-sweep")
 		ckpt   = flag.String("checkpoint", "", "dsa-sweep checkpoint dir to read instead of -in")
 		out    = flag.String("out", "results.csv", "output CSV path (merge)")
@@ -44,9 +55,18 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: dsa-report [flags] fig2|fig3|fig4|fig5|fig6|fig7|fig8|table3|top|merge|validate|churn")
+		log.Fatal("usage: dsa-report [flags] fig2|fig3|fig4|fig5|fig6|fig7|fig8|table3|top|merge|validate|churn (swarming) or top|scatter|merge (-domain others)")
 	}
 	what := flag.Arg(0)
+
+	if *domain != pra.DomainName {
+		d, err := dsa.Get(*domain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runGeneric(d, what, *in, *ckpt, *out)
+		return
+	}
 
 	switch what {
 	case "validate", "churn":
@@ -241,6 +261,76 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// runGeneric renders the domain-agnostic reports: merge (checkpoint →
+// CSV), top (best points per measure) and scatter (second measure vs
+// first). It never touches any file-swarming code path — every fact it
+// needs comes through the dsa.Domain interface.
+func runGeneric(d dsa.Domain, what, in, ckpt, out string) {
+	var s *dsa.Scores
+	var err error
+	switch {
+	case ckpt != "":
+		s, err = job.Load(ckpt)
+		if err == nil && s.Domain != d.Name() {
+			err = fmt.Errorf("checkpoint %s holds a %q sweep, not %q", ckpt, s.Domain, d.Name())
+		}
+	case what == "merge":
+		err = fmt.Errorf("merge needs -checkpoint")
+	default:
+		var f *os.File
+		if f, err = os.Open(in); err == nil {
+			s, err = dsa.ReadCSV(f, d)
+			f.Close()
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch what {
+	case "merge":
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dsa.WriteCSV(f, d, s); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("merged %s into %s (%d rows)", ckpt, out, len(s.Points))
+	case "top":
+		for _, m := range d.Measures() {
+			vals := s.Measure(m)
+			order := make([]int, len(s.Points))
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+			fmt.Printf("Top 10 by %s:\n", m)
+			for _, i := range order[:min(10, len(order))] {
+				fmt.Printf("  ")
+				for _, mm := range d.Measures() {
+					fmt.Printf("%s=%.4f ", mm, s.Measure(mm)[i])
+				}
+				fmt.Printf(" %s\n", d.Label(s.Points[i]))
+			}
+		}
+	case "scatter":
+		ms := d.Measures()
+		if len(ms) < 2 {
+			log.Fatalf("domain %q has a single measure; nothing to scatter", d.Name())
+		}
+		xs, ys := s.Measure(ms[1]), s.Measure(ms[0])
+		fmt.Printf("%s vs %s, %d %s points\n", ms[1], ms[0], len(xs), d.Name())
+		if err := report.Scatter(os.Stdout, xs, ys, 72, 24, ms[1], ms[0]); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("report %q is not available for domain %q (generic reports: top, scatter, merge)", what, d.Name())
+	}
 }
 
 // runSimBacked handles the reports that need fresh simulation: the

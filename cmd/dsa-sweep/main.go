@@ -1,21 +1,29 @@
-// Command dsa-sweep runs the PRA quantification over the file-swarming
-// design space and writes a CSV consumed by dsa-report.
+// Command dsa-sweep runs a Design Space Analysis sweep over any
+// registered domain and writes a CSV consumed by dsa-report.
 //
 // Usage:
 //
-//	dsa-sweep [-preset quick|paper] [-stride N] [-opponents N]
+//	dsa-sweep [-domain swarming|gossip] [-preset quick|paper]
+//	          [-stride N] [-opponents N]
 //	          [-peers N] [-rounds N] [-perfruns N] [-encruns N]
 //	          [-seed N] [-out results.csv] [-explore]
 //	          [-checkpoint-dir DIR] [-resume]
 //	          [-shards N] [-shard-index I] [-chunk N]
 //
-// The quick preset reproduces the shape of Figures 2-8 and Table 3 in
-// minutes on a laptop; the paper preset is the full 107-million-run
-// experiment of Section 4.3 (the authors used 25 hours on a 50-node
-// cluster — plan accordingly). -stride N evaluates every Nth protocol,
-// shrinking the protocol set itself. -explore additionally runs the
-// Section 7 heuristic explorers (hill climbing and evolutionary search)
-// against homogeneous performance and prints what they find.
+// -domain selects the design space: swarming is the 3270-protocol
+// file-swarming space of Section 4 (the default), gossip the
+// 216-protocol dissemination space of Section 3.1. Every domain runs
+// through the same sharded, checkpointed job engine — the flags below
+// behave identically for all of them.
+//
+// The quick preset reproduces the shape of the paper's results in
+// minutes on a laptop; the paper preset is the full-scale experiment
+// (for swarming, the 107-million-run Section 4.3 sweep — the authors
+// used 25 hours on a 50-node cluster, plan accordingly). -stride N
+// evaluates every Nth point, shrinking the point set itself. -explore
+// additionally runs the Section 7 heuristic explorers (hill climbing
+// and evolutionary search) against the domain's primary measure and
+// prints what they find.
 //
 // Paper-scale runs go through the job engine (internal/job):
 // -checkpoint-dir journals every completed task so an interrupted run
@@ -25,7 +33,7 @@
 // flags and distinct indices, give each its own checkpoint dir (or
 // share one on a common filesystem), then merge with
 //
-//	dsa-report -checkpoint DIR -out results.csv merge
+//	dsa-report -domain D -checkpoint DIR -out results.csv merge
 //
 // after copying the shard dirs' manifest-*.jsonl and task-*.json files
 // together. The shard that finishes last assembles and writes the CSV
@@ -45,18 +53,22 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/design"
+	"repro/internal/dsa"
 	"repro/internal/exp"
 	"repro/internal/job"
 	"repro/internal/pra"
+
+	// Register the domains this tool can sweep.
+	_ "repro/internal/gossip"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsa-sweep: ")
 	var (
+		domain    = flag.String("domain", pra.DomainName, "design space to sweep (swarming or gossip)")
 		preset    = flag.String("preset", "quick", "quick or paper")
-		stride    = flag.Int("stride", 1, "evaluate every Nth protocol of the 3270")
+		stride    = flag.Int("stride", 1, "evaluate every Nth point of the space")
 		opponents = flag.Int("opponents", -1, "opponent panel size (0 = full round-robin)")
 		peers     = flag.Int("peers", 0, "population size override")
 		rounds    = flag.Int("rounds", 0, "rounds per run override")
@@ -69,18 +81,17 @@ func main() {
 		resume    = flag.Bool("resume", false, "continue from an existing checkpoint dir, skipping finished tasks")
 		shards    = flag.Int("shards", 1, "total shard processes splitting this sweep")
 		shardIdx  = flag.Int("shard-index", 0, "this process's shard in [0,shards)")
-		chunk     = flag.Int("chunk", 0, "protocols per job task (0 = default)")
+		chunk     = flag.Int("chunk", 0, "points per job task (0 = default)")
 	)
 	flag.Parse()
 
-	var cfg pra.Config
-	switch *preset {
-	case "quick":
-		cfg = pra.Quick()
-	case "paper":
-		cfg = pra.Paper()
-	default:
-		log.Fatalf("unknown preset %q", *preset)
+	d, err := dsa.Get(*domain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := d.DefaultConfig(*preset)
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfg.Seed = *seed
 	if *opponents >= 0 {
@@ -123,13 +134,13 @@ func main() {
 		}
 	}
 
-	all := design.Enumerate()
-	var protos []design.Protocol
+	all := d.Space().Enumerate()
+	var points []core.Point
 	for i := 0; i < len(all); i += *stride {
-		protos = append(protos, all[i])
+		points = append(points, all[i])
 	}
-	log.Printf("sweeping %d protocols (%s preset, %d peers, %d rounds, %d opponents, shard %d/%d)",
-		len(protos), *preset, cfg.Peers, cfg.Rounds, cfg.Opponents, *shardIdx, *shards)
+	log.Printf("sweeping %d %s points (%s preset, %d peers, %d rounds, %d opponents, shard %d/%d)",
+		len(points), d.Name(), *preset, cfg.Peers, cfg.Rounds, cfg.Opponents, *shardIdx, *shards)
 
 	// First Ctrl-C / SIGTERM cancels the sweep cleanly: in-flight
 	// tasks drain (and are journalled), no new ones start. Once the
@@ -143,7 +154,7 @@ func main() {
 	}()
 
 	start := time.Now()
-	res, err := exp.SweepJob(ctx, protos, cfg, job.Options{
+	scores, err := job.Run(ctx, d, points, cfg, job.Options{
 		Dir:        *ckptDir,
 		Shards:     *shards,
 		ShardIndex: *shardIdx,
@@ -153,7 +164,7 @@ func main() {
 	switch {
 	case errors.Is(err, job.ErrIncomplete):
 		log.Printf("shard %d/%d done in %v; %v", *shardIdx, *shards, time.Since(start).Round(time.Second), err)
-		log.Printf("merge once all shards finish: dsa-report -checkpoint %s -out %s merge", *ckptDir, *out)
+		log.Printf("merge once all shards finish: dsa-report -domain %s -checkpoint %s -out %s merge", d.Name(), *ckptDir, *out)
 		return
 	case errors.Is(err, context.Canceled):
 		if *ckptDir != "" {
@@ -169,17 +180,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := res.WriteCSV(f); err != nil {
+	if err := writeCSV(f, d, scores); err != nil {
 		log.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %s (%d rows)", *out, len(res.Protocols))
+	log.Printf("wrote %s (%d rows)", *out, len(scores.Points))
 
 	if *explore {
-		runExplorers(cfg)
+		runExplorers(d, cfg)
 	}
+}
+
+// writeCSV picks the output format: the swarming domain keeps its
+// original dsa-sweep CSV layout (the figure and table extractors of
+// dsa-report parse it), every other domain uses the generic layout.
+func writeCSV(f *os.File, d dsa.Domain, scores *dsa.Scores) error {
+	if d.Name() != pra.DomainName {
+		return dsa.WriteCSV(f, d, scores)
+	}
+	typed, err := pra.ScoresFromGeneric(scores)
+	if err != nil {
+		return err
+	}
+	res := &exp.SweepResult{Protocols: typed.Protocols, Scores: typed}
+	return res.WriteCSV(f)
 }
 
 // progressLogger returns a job progress callback that logs at most one
@@ -205,34 +231,24 @@ func progressLogger() func(job.Progress) {
 	}
 }
 
-// runExplorers demonstrates the Section 7 heuristic exploration against
-// homogeneous performance, with a shared memoised objective.
-func runExplorers(cfg pra.Config) {
-	space := core.FileSwarmingSpace()
+// runExplorers demonstrates the Section 7 heuristic exploration on the
+// selected domain against its primary measure, with a shared memoised
+// objective.
+func runExplorers(d dsa.Domain, cfg dsa.Config) {
 	perfCfg := cfg
 	perfCfg.PerfRuns = 1
-	obj := func(pt core.Point) (float64, error) {
-		proto, err := core.PointProtocol(pt)
-		if err != nil {
-			return 0, err
-		}
-		raw, err := pra.PerformanceSweep([]design.Protocol{proto}, perfCfg)
-		if err != nil {
-			return 0, err
-		}
-		return raw[0], nil
-	}
-	hc, hcCalls, err := core.HillClimb(space, obj, core.HillClimbConfig{Restarts: 3, MaxSteps: 30, Seed: cfg.Seed})
+	primary := d.Measures()[0]
+	weights := dsa.Weights{primary: 1}
+	hc, hcCalls, err := dsa.HillClimb(d, weights, perfCfg, core.HillClimbConfig{Restarts: 3, MaxSteps: 30, Seed: cfg.Seed})
 	if err != nil {
 		log.Fatal(err)
 	}
-	hcProto, _ := core.PointProtocol(hc.Point)
-	fmt.Printf("hill climb: %s  raw=%.1f KiB/s  (%d objective calls vs %d exhaustive)\n",
-		hcProto, hc.Score, hcCalls, design.SpaceSize)
-	ev, evCalls, err := core.Evolve(space, obj, core.EvolveConfig{Population: 24, Generations: 12, Seed: cfg.Seed})
+	fmt.Printf("hill climb: %s  raw %s=%.1f  (%d objective calls vs %d exhaustive)\n",
+		d.Label(hc.Point), primary, hc.Score, hcCalls, d.Space().Size())
+	ev, evCalls, err := dsa.Evolve(d, weights, perfCfg, core.EvolveConfig{Population: 24, Generations: 12, Seed: cfg.Seed})
 	if err != nil {
 		log.Fatal(err)
 	}
-	evProto, _ := core.PointProtocol(ev.Point)
-	fmt.Printf("evolution:  %s  raw=%.1f KiB/s  (%d objective calls)\n", evProto, ev.Score, evCalls)
+	fmt.Printf("evolution:  %s  raw %s=%.1f  (%d objective calls)\n",
+		d.Label(ev.Point), primary, ev.Score, evCalls)
 }

@@ -1,84 +1,112 @@
 // Gossipspace: Design Space Analysis applied to a second domain — the
-// gossip dissemination space sketched in Section 3.1. Parameterization
-// and Actualization come from the gossip package; this program runs a
-// performance sweep over all 216 gossip protocols and a small
-// robustness check, demonstrating that the DSA method is domain
-// agnostic (the paper's Section 7 future work).
+// gossip dissemination space sketched in Section 3.1 — through the
+// generic sweep API. The gossip package implements repro.Domain, and
+// that is all it takes for the full 216-protocol gossip sweep to run
+// on the same sharded, checkpointed job engine as the 3270-protocol
+// file-swarming sweep: this program interrupts a sweep mid-run,
+// resumes it, finishes it as a second shard, and verifies that the
+// checkpoint reloads to the identical result.
 //
 //	go run ./examples/gossipspace
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
+	"reflect"
 	"sort"
 
-	"repro/internal/gossip"
+	"repro"
 )
 
 func main() {
-	space := gossip.Space()
-	pts := space.Enumerate()
-	fmt.Printf("gossip design space: %d protocols over %d dimensions\n\n",
-		len(pts), len(space.Dimensions))
-
-	opt := gossip.DefaultOptions()
-	opt.Nodes = 0 // population size = len(protocols)
-
-	// Performance sweep: homogeneous populations of 30 nodes.
-	type scored struct {
-		p    gossip.Protocol
-		mean float64
-	}
-	results := make([]scored, 0, len(pts))
-	for _, pt := range pts {
-		p, err := gossip.FromPoint(pt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		protos := make([]gossip.Protocol, 30)
-		for i := range protos {
-			protos[i] = p
-		}
-		res, err := gossip.Run(protos, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		results = append(results, scored{p, res.Mean()})
-	}
-	sort.Slice(results, func(a, b int) bool { return results[a].mean > results[b].mean })
-
-	fmt.Println("top 5 gossip protocols by coverage (rumours learned per node):")
-	for _, r := range results[:5] {
-		fmt.Printf("  %7.1f  %s\n", r.mean, r.p)
-	}
-	fmt.Println("bottom 3:")
-	for _, r := range results[len(results)-3:] {
-		fmt.Printf("  %7.1f  %s\n", r.mean, r.p)
-	}
-
-	// Robustness flavour: the best protocol invaded 50/50 by gossip
-	// freeriders (FilterNone).
-	best := results[0].p
-	freerider := best
-	freerider.Filter = gossip.FilterNone
-	protos := make([]gossip.Protocol, 30)
-	for i := range protos {
-		if i%2 == 0 {
-			protos[i] = best
-		} else {
-			protos[i] = freerider
-		}
-	}
-	res, err := gossip.Run(protos, opt)
+	domain, err := repro.DomainByName("gossip")
 	if err != nil {
 		log.Fatal(err)
 	}
-	coop := res.GroupMean(func(i int) bool { return i%2 == 0 })
-	free := res.GroupMean(func(i int) bool { return i%2 != 0 })
-	fmt.Printf("\n50/50 encounter, best protocol vs its freeriding variant:\n")
-	fmt.Printf("  contributors learn %.1f rumours, freeriders %.1f\n", coop, free)
-	if coop > free {
-		fmt.Println("  → the selection function punishes freeriding, as in the P2P domain")
+	space := domain.Space()
+	fmt.Printf("gossip design space: %d protocols over %d dimensions\n",
+		space.Size(), len(space.Dimensions))
+	fmt.Printf("measures: %v\n\n", domain.Measures())
+
+	cfg, err := domain.DefaultConfig("quick")
+	if err != nil {
+		log.Fatal(err)
 	}
+	// Keep the demo snappy: smaller populations, tiny opponent panel.
+	cfg.Peers, cfg.Rounds, cfg.Opponents = 20, 80, 8
+
+	dir, err := os.MkdirTemp("", "gossip-sweep-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Shard 0 of 2, interrupted after a few tasks: cancel the context
+	// mid-run, exactly like Ctrl-C on dsa-sweep. Completed tasks are
+	// journalled in dir.
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := repro.SweepOptions{Dir: dir, Shards: 2, ShardIndex: 0, Chunk: 8, Workers: 1}
+	interrupted := 0
+	optsInterrupt := opts
+	optsInterrupt.Progress = func(p repro.SweepProgress) {
+		interrupted = p.FreshTasks
+		if p.FreshTasks >= 3 {
+			cancel()
+		}
+	}
+	_, err = repro.RunSweepContext(ctx, domain, nil, cfg, optsInterrupt)
+	if !errors.Is(err, context.Canceled) {
+		log.Fatalf("expected interruption, got %v", err)
+	}
+	fmt.Printf("shard 0 interrupted after %d tasks — journalled in %s\n", interrupted, dir)
+
+	// Resume shard 0: finished tasks are skipped, the rest of this
+	// shard's share runs, and the result is still incomplete because
+	// shard 1's tasks are outstanding.
+	_, err = repro.RunSweepContext(context.Background(), domain, nil, cfg, opts)
+	if !errors.Is(err, repro.ErrSweepIncomplete) {
+		log.Fatalf("expected incomplete shard, got %v", err)
+	}
+	fmt.Printf("shard 0 resumed and finished its share: %v\n", err)
+
+	// Shard 1 finds every shard-0 task checkpointed, runs its own, and
+	// assembles the full scores.
+	opts.ShardIndex = 1
+	scores, err := repro.RunSweepContext(context.Background(), domain, nil, cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shard 1 assembled the merged sweep: %d points × %d measures\n\n",
+		len(scores.Points), len(scores.Values))
+
+	// The checkpoint alone reproduces the identical result — this is
+	// what dsa-report -domain gossip merge does.
+	reloaded, err := repro.LoadSweep(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !reflect.DeepEqual(scores, reloaded) {
+		log.Fatal("checkpoint reload does not match the assembled sweep")
+	}
+	fmt.Println("checkpoint reload matches the live merge exactly")
+
+	coverage := scores.Measure("coverage")
+	robustness := scores.Measure("robustness")
+	order := make([]int, len(scores.Points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return coverage[order[a]] > coverage[order[b]] })
+	fmt.Println("\ntop 5 gossip protocols by normalised coverage:")
+	for _, i := range order[:5] {
+		fmt.Printf("  coverage=%.3f robustness=%.3f  %s\n",
+			coverage[i], robustness[i], domain.Label(scores.Points[i]))
+	}
+	worst := order[len(order)-1]
+	fmt.Printf("worst: coverage=%.3f robustness=%.3f  %s\n",
+		coverage[worst], robustness[worst], domain.Label(scores.Points[worst]))
 }

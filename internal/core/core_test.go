@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -318,5 +319,35 @@ func TestParetoFrontProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestEnumerateConcurrent pins the sync.Once guard on the lazy
+// enumeration cache: the job engine's workers enumerate shared spaces
+// concurrently, so first-use must be race-free (run with -race).
+func TestEnumerateConcurrent(t *testing.T) {
+	s, err := NewSpace("concurrent", []Dimension{
+		{Name: "a", Values: []string{"0", "1", "2", "3"}},
+		{Name: "b", Values: []string{"0", "1", "2"}},
+		{Name: "c", Values: []string{"0", "1"}},
+	}, func(p Point) bool { return p[0] != p[1] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([][]Point, 8)
+	for i := range results {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = s.Enumerate()
+		}()
+	}
+	wg.Wait()
+	for i, pts := range results {
+		if len(pts) != s.Size() {
+			t.Fatalf("goroutine %d saw %d points, want %d", i, len(pts), s.Size())
+		}
 	}
 }

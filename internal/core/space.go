@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Dimension is one salient design dimension (Parameterization) together
@@ -35,7 +36,8 @@ type Space struct {
 	Dimensions []Dimension
 	Constraint func(Point) bool
 
-	valid []Point // lazily built canonical enumeration
+	enumOnce sync.Once
+	valid    []Point // canonical enumeration, built once under enumOnce
 }
 
 // NewSpace builds a space after validating the dimensions.
@@ -61,31 +63,31 @@ func (s *Space) RawSize() int {
 }
 
 // Enumerate returns every valid point in lexicographic order. The
-// result is cached and must not be mutated.
+// result is cached and must not be mutated. Safe for concurrent use:
+// the job engine's workers enumerate shared spaces.
 func (s *Space) Enumerate() []Point {
-	if s.valid != nil {
-		return s.valid
-	}
-	var out []Point
-	p := make(Point, len(s.Dimensions))
-	var rec func(d int)
-	rec = func(d int) {
-		if d == len(s.Dimensions) {
-			if s.Constraint == nil || s.Constraint(p) {
-				cp := make(Point, len(p))
-				copy(cp, p)
-				out = append(out, cp)
+	s.enumOnce.Do(func() {
+		var out []Point
+		p := make(Point, len(s.Dimensions))
+		var rec func(d int)
+		rec = func(d int) {
+			if d == len(s.Dimensions) {
+				if s.Constraint == nil || s.Constraint(p) {
+					cp := make(Point, len(p))
+					copy(cp, p)
+					out = append(out, cp)
+				}
+				return
 			}
-			return
+			for v := range s.Dimensions[d].Values {
+				p[d] = v
+				rec(d + 1)
+			}
 		}
-		for v := range s.Dimensions[d].Values {
-			p[d] = v
-			rec(d + 1)
-		}
-	}
-	rec(0)
-	s.valid = out
-	return out
+		rec(0)
+		s.valid = out
+	})
+	return s.valid
 }
 
 // Size returns the number of valid points.

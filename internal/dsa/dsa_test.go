@@ -1,0 +1,199 @@
+package dsa_test
+
+// External test package: it exercises the interface through the real
+// domain implementations (pra registers "swarming", gossip registers
+// "gossip"), which the dsa package itself must not import.
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsa"
+	"repro/internal/gossip"
+	"repro/internal/pra"
+)
+
+func TestRegistryHasBothDomains(t *testing.T) {
+	var names []string
+	for _, d := range dsa.Registered() {
+		names = append(names, d.Name())
+	}
+	for _, want := range []string{gossip.DomainName, pra.DomainName} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("domain %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := dsa.Get("no-such-domain"); err == nil || !strings.Contains(err.Error(), "unknown domain") {
+		t.Errorf("unknown domain lookup: err = %v", err)
+	}
+}
+
+func TestDomainContracts(t *testing.T) {
+	for _, d := range dsa.Registered() {
+		d := d
+		t.Run(d.Name(), func(t *testing.T) {
+			pts := d.Space().Enumerate()
+			if len(pts) == 0 {
+				t.Fatal("empty space")
+			}
+			if len(d.Measures()) == 0 {
+				t.Fatal("no measures")
+			}
+			// The point↔ID codec must round-trip and IDs must be
+			// unique — they are the checkpoint keys.
+			seen := map[int]bool{}
+			for _, p := range pts {
+				id, err := d.PointID(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seen[id] {
+					t.Fatalf("duplicate point ID %d", id)
+				}
+				seen[id] = true
+				back, err := d.PointByID(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !p.Equal(back) {
+					t.Fatalf("codec round-trip: %v → %d → %v", p, id, back)
+				}
+			}
+			if _, err := d.DefaultConfig("quick"); err != nil {
+				t.Fatalf("quick preset: %v", err)
+			}
+			if _, err := d.DefaultConfig("paper"); err != nil {
+				t.Fatalf("paper preset: %v", err)
+			}
+			if _, err := d.DefaultConfig("bogus"); err == nil {
+				t.Fatal("bogus preset accepted")
+			}
+		})
+	}
+}
+
+// TestScoreSliceConcatenation pins the contract the job engine relies
+// on: scoring a point set in slices equals scoring it whole.
+func TestScoreSliceConcatenation(t *testing.T) {
+	d := gossip.Domain()
+	cfg := dsa.Config{Peers: 8, Rounds: 30, PerfRuns: 1, EncounterRuns: 1, Opponents: 3, Seed: 11}
+	all := d.Space().Enumerate()
+	var pts []core.Point
+	for i := 0; i < len(all); i += 40 {
+		pts = append(pts, all[i])
+	}
+	opponents := d.SampleOpponents(cfg)
+	for _, m := range d.Measures() {
+		whole, err := d.ScoreSlice(m, pts, opponents, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pieced []float64
+		for lo := 0; lo < len(pts); lo += 2 {
+			hi := min(lo+2, len(pts))
+			vals, err := d.ScoreSlice(m, pts[lo:hi], opponents, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pieced = append(pieced, vals...)
+		}
+		if !reflect.DeepEqual(whole, pieced) {
+			t.Fatalf("measure %s: sliced scoring diverged from whole-set scoring", m)
+		}
+	}
+}
+
+func TestSamplePanel(t *testing.T) {
+	all := gossip.Domain().Space().Enumerate()
+	panel := dsa.SamplePanel(all, 10, 42)
+	if len(panel) != 10 {
+		t.Fatalf("panel size = %d, want 10", len(panel))
+	}
+	if !reflect.DeepEqual(panel, dsa.SamplePanel(all, 10, 42)) {
+		t.Fatal("panel is not deterministic")
+	}
+	if got := dsa.SamplePanel(all, 0, 42); len(got) != len(all) {
+		t.Fatal("0 opponents should mean the whole set")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := gossip.Domain()
+	cfg := dsa.Config{Peers: 8, Rounds: 30, PerfRuns: 1, EncounterRuns: 1, Opponents: 3, Seed: 3}
+	all := d.Space().Enumerate()
+	pts := all[:6]
+	opponents := d.SampleOpponents(cfg)
+	raw := map[string][]float64{}
+	for _, m := range d.Measures() {
+		vals, err := d.ScoreSlice(m, pts, opponents, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[m] = vals
+	}
+	scores, err := d.Assemble(pts, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dsa.WriteCSV(&buf, d, scores); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dsa.ReadCSV(bytes.NewReader(buf.Bytes()), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(pts) {
+		t.Fatalf("round-trip lost points: %d of %d", len(back.Points), len(pts))
+	}
+	for i, p := range pts {
+		if !p.Equal(back.Points[i]) {
+			t.Fatalf("point %d changed: %v → %v", i, p, back.Points[i])
+		}
+	}
+	for _, m := range d.Measures() {
+		for i := range pts {
+			if diff := scores.Values[m][i] - back.Values[m][i]; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("measure %s value %d drifted: %v → %v", m, i, scores.Values[m][i], back.Values[m][i])
+			}
+		}
+	}
+}
+
+// TestExplorersOnGossipDomain: the Section 7 explorers run on any
+// domain against a measure-weight blend.
+func TestExplorersOnGossipDomain(t *testing.T) {
+	d := gossip.Domain()
+	cfg := dsa.Config{Peers: 8, Rounds: 30, PerfRuns: 1, EncounterRuns: 1, Opponents: 3, Seed: 5}
+	w := dsa.Weights{gossip.MeasureCoverage: 1}
+	best, calls, err := dsa.HillClimb(d, w, cfg, core.HillClimbConfig{Restarts: 2, MaxSteps: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls <= 0 || calls >= d.Space().Size() {
+		t.Fatalf("hill climb made %d objective calls (space %d)", calls, d.Space().Size())
+	}
+	if !d.Space().Valid(best.Point) {
+		t.Fatalf("hill climb returned invalid point %v", best.Point)
+	}
+	again, _, err := dsa.HillClimb(d, w, cfg, core.HillClimbConfig{Restarts: 2, MaxSteps: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(best, again) {
+		t.Fatal("hill climb is not deterministic")
+	}
+
+	if _, _, err := dsa.HillClimb(d, dsa.Weights{"bogus": 1}, cfg, core.HillClimbConfig{Restarts: 1, MaxSteps: 1, Seed: 1}); err == nil {
+		t.Fatal("unknown measure weight accepted")
+	}
+}

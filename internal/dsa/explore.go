@@ -1,0 +1,82 @@
+package dsa
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Weights blends a domain's measures into a single exploration
+// objective: the score of a point is Σ weights[m] · raw(m, point).
+// Any subset of the domain's measures may be weighted; the paper's
+// Section 7 explorers then climb the blend — e.g. {"performance": 1}
+// reproduces the pure-performance search, while adding a robustness
+// weight explores the P/R trade-off frontier heuristically.
+//
+// Weights apply to raw measure values (whole-set normalisation needs
+// the whole set, which an explorer never has), so pick weights on the
+// measures' natural scales.
+type Weights map[string]float64
+
+// Objective builds a core.Objective for the domain from a measure-
+// weight blend. The opponent panel is sampled once, so every evaluation
+// is played against the same opponents and results are deterministic.
+// Explorers memoise on top of this (see core.HillClimb), so a point is
+// simulated at most once per search.
+func Objective(d Domain, w Weights, cfg Config) (core.Objective, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(w) == 0 {
+		return nil, fmt.Errorf("dsa: empty weight vector for domain %q", d.Name())
+	}
+	measures := d.Measures()
+	known := make(map[string]bool, len(measures))
+	for _, m := range measures {
+		known[m] = true
+	}
+	for m := range w {
+		if !known[m] {
+			return nil, fmt.Errorf("dsa: domain %q has no measure %q (measures: %v)", d.Name(), m, measures)
+		}
+	}
+	opponents := d.SampleOpponents(cfg)
+	return func(p core.Point) (float64, error) {
+		var sum float64
+		// Iterate in canonical measure order, not map order: float
+		// addition order must not vary between runs.
+		for _, m := range measures {
+			wt, ok := w[m]
+			if !ok || wt == 0 {
+				continue
+			}
+			vals, err := d.ScoreSlice(m, []core.Point{p}, opponents, cfg)
+			if err != nil {
+				return 0, err
+			}
+			sum += wt * vals[0]
+		}
+		return sum, nil
+	}, nil
+}
+
+// HillClimb runs the Section 7 steepest-ascent explorer on a domain
+// against a measure-weight blend. It returns the best evaluation and
+// the number of objective calls (points actually simulated).
+func HillClimb(d Domain, w Weights, cfg Config, hcfg core.HillClimbConfig) (core.Evaluation, int, error) {
+	obj, err := Objective(d, w, cfg)
+	if err != nil {
+		return core.Evaluation{}, 0, err
+	}
+	return core.HillClimb(d.Space(), obj, hcfg)
+}
+
+// Evolve runs the Section 7 evolutionary explorer on a domain against a
+// measure-weight blend.
+func Evolve(d Domain, w Weights, cfg Config, ecfg core.EvolveConfig) (core.Evaluation, int, error) {
+	obj, err := Objective(d, w, cfg)
+	if err != nil {
+		return core.Evaluation{}, 0, err
+	}
+	return core.Evolve(d.Space(), obj, ecfg)
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/analytic"
+	"repro/internal/core"
 	"repro/internal/design"
 	"repro/internal/job"
 	"repro/internal/pra"
@@ -33,27 +34,65 @@ func Sweep(protos []design.Protocol, cfg pra.Config) (*SweepResult, error) {
 }
 
 // SweepJob runs the sweep on the sharded, checkpointed job engine: the
-// work is cut into deterministic (score kind × protocol chunk) tasks,
+// work is cut into deterministic (measure × protocol chunk) tasks,
 // this process executes its shard's share on a worker pool, completed
 // tasks are journalled to opts.Dir, and a cancelled or killed run
-// resumes where it left off. See package job. If other shards still
-// own outstanding tasks it returns job.ErrIncomplete.
+// resumes where it left off. The engine itself is domain-agnostic
+// (package job runs any dsa.Domain); this wrapper binds it to the
+// file-swarming domain and the typed Scores. If other shards still own
+// outstanding tasks it returns job.ErrIncomplete.
 func SweepJob(ctx context.Context, protos []design.Protocol, cfg pra.Config, opts job.Options) (*SweepResult, error) {
 	if protos == nil {
 		protos = design.Enumerate()
 	}
-	scores, err := job.Run(ctx, protos, cfg, opts)
+	if cfg.Dist != nil {
+		// A custom bandwidth distribution cannot cross the generic
+		// Domain boundary (it is not serialisable into a checkpoint
+		// spec), so this path runs the quantification in-process.
+		// Options.Workers still applies; Options.Progress does not
+		// fire (there are no engine tasks to report on).
+		if opts.Dir != "" || opts.Shards > 1 {
+			return nil, fmt.Errorf("exp: sweeps with a custom bandwidth distribution cannot be checkpointed or sharded")
+		}
+		if shards := max(opts.Shards, 1); opts.ShardIndex < 0 || opts.ShardIndex >= shards {
+			return nil, fmt.Errorf("exp: shard index %d out of range [0,%d)", opts.ShardIndex, shards)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if opts.Workers > 0 {
+			cfg.Workers = opts.Workers
+		}
+		scores, err := pra.Run(protos, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &SweepResult{Protocols: protos, Scores: scores}, nil
+	}
+	points := make([]core.Point, len(protos))
+	for i, p := range protos {
+		points[i] = core.ProtocolPoint(p)
+	}
+	generic, err := job.Run(ctx, pra.Domain(), points, cfg.Generic(), opts)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := pra.ScoresFromGeneric(generic)
 	if err != nil {
 		return nil, err
 	}
 	return &SweepResult{Protocols: protos, Scores: scores}, nil
 }
 
-// LoadCheckpoint reassembles a checkpointed sweep — possibly written by
-// several shard processes whose manifests were merged into dir —
-// without running any simulation.
+// LoadCheckpoint reassembles a checkpointed file-swarming sweep —
+// possibly written by several shard processes whose manifests were
+// merged into dir — without running any simulation.
 func LoadCheckpoint(dir string) (*SweepResult, error) {
-	scores, err := job.Load(dir)
+	generic, err := job.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := pra.ScoresFromGeneric(generic)
 	if err != nil {
 		return nil, err
 	}

@@ -10,16 +10,17 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/design"
-	"repro/internal/pra"
+	"repro/internal/core"
+	"repro/internal/dsa"
 )
 
 // Checkpoint layout under one directory:
 //
-//	spec.json                    — the sweep Spec (config, chunking,
-//	                               protocol IDs); written once, verified
-//	                               on every open so a resume can never
-//	                               silently mix incompatible results
+//	spec.json                    — the sweep Spec (domain name, config,
+//	                               chunking, measures, point IDs);
+//	                               written once, verified on every open
+//	                               so a resume can never silently mix
+//	                               incompatible results
 //	manifest-s<I>of<N>.jsonl     — append-only journal, one line per
 //	                               completed task, written by shard I of
 //	                               N; a resumed or re-sharded run opens
@@ -37,14 +38,22 @@ import (
 
 const specFileName = "spec.json"
 
+// specVersion is the checkpoint spec format written by this engine.
+// Version 1 was the pre-Domain engine (file-swarming only, tasks keyed
+// by pra.ScoreKind); version 2 keys everything by domain name + measure
+// strings + point IDs. Old versions are rejected, never mis-merged.
+const specVersion = 2
+
 type specJSON struct {
-	Version     int        `json:"version"`
-	Config      configJSON `json:"config"`
-	Chunk       int        `json:"chunk"`
-	ProtocolIDs []int      `json:"protocol_ids"`
+	Version  int        `json:"version"`
+	Domain   string     `json:"domain"`
+	Config   configJSON `json:"config"`
+	Chunk    int        `json:"chunk"`
+	Measures []string   `json:"measures"`
+	PointIDs []int      `json:"point_ids"`
 }
 
-// configJSON is the result-affecting subset of pra.Config. Workers is
+// configJSON is the result-affecting subset of dsa.Config. Workers is
 // deliberately absent: it changes speed, never values.
 type configJSON struct {
 	Peers         int     `json:"peers"`
@@ -56,35 +65,65 @@ type configJSON struct {
 	Churn         float64 `json:"churn"`
 }
 
-func specToJSON(s Spec) specJSON {
-	ids := make([]int, len(s.Protos))
-	for i, p := range s.Protos {
-		ids[i] = design.ID(p)
+func specToJSON(s Spec) (specJSON, error) {
+	ids := make([]int, len(s.Points))
+	for i, p := range s.Points {
+		id, err := s.Domain.PointID(p)
+		if err != nil {
+			return specJSON{}, fmt.Errorf("job: checkpoint spec: %w", err)
+		}
+		ids[i] = id
 	}
 	return specJSON{
-		Version: 1,
+		Version: specVersion,
+		Domain:  s.Domain.Name(),
 		Config: configJSON{
 			Peers: s.Cfg.Peers, Rounds: s.Cfg.Rounds,
 			PerfRuns: s.Cfg.PerfRuns, EncounterRuns: s.Cfg.EncounterRuns,
 			Opponents: s.Cfg.Opponents, Seed: s.Cfg.Seed, Churn: s.Cfg.Churn,
 		},
-		Chunk:       s.chunk(),
-		ProtocolIDs: ids,
-	}
+		Chunk:    s.chunk(),
+		Measures: s.Domain.Measures(),
+		PointIDs: ids,
+	}, nil
 }
 
-func specFromJSON(sj specJSON) (Spec, error) {
-	protos := make([]design.Protocol, len(sj.ProtocolIDs))
-	for i, id := range sj.ProtocolIDs {
-		p, err := design.ByID(id)
+// errSpecVersion builds the rejection error for a checkpoint written by
+// a different engine generation.
+func errSpecVersion(dir string, have int) error {
+	if have < specVersion {
+		return fmt.Errorf("job: checkpoint %s has spec version %d, this engine writes version %d: "+
+			"it was written by an older engine generation (version 1 predates the domain-agnostic sweep API) "+
+			"and cannot be resumed or merged — re-run the sweep into a fresh directory, or keep the old binary to finish it", dir, have, specVersion)
+	}
+	return fmt.Errorf("job: checkpoint %s has spec version %d, this engine only understands version %d: "+
+		"it was written by a newer engine — resume or merge it with that engine version", dir, have, specVersion)
+}
+
+func specFromJSON(dir string, sj specJSON) (Spec, error) {
+	if sj.Version != specVersion {
+		return Spec{}, errSpecVersion(dir, sj.Version)
+	}
+	d, err := dsa.Get(sj.Domain)
+	if err != nil {
+		return Spec{}, fmt.Errorf("job: checkpoint %s: %w", dir, err)
+	}
+	if !slices.Equal(sj.Measures, d.Measures()) {
+		return Spec{}, fmt.Errorf("job: checkpoint %s measures %v do not match domain %q measures %v",
+			dir, sj.Measures, d.Name(), d.Measures())
+	}
+	points := make([]core.Point, len(sj.PointIDs))
+	for i, id := range sj.PointIDs {
+		p, err := d.PointByID(id)
 		if err != nil {
 			return Spec{}, fmt.Errorf("job: checkpoint spec: %w", err)
 		}
-		protos[i] = p
+		points[i] = p
 	}
 	return Spec{
-		Protos: protos,
-		Cfg: pra.Config{
+		Domain: d,
+		Points: points,
+		Cfg: dsa.Config{
 			Peers: sj.Config.Peers, Rounds: sj.Config.Rounds,
 			PerfRuns: sj.Config.PerfRuns, EncounterRuns: sj.Config.EncounterRuns,
 			Opponents: sj.Config.Opponents, Seed: sj.Config.Seed, Churn: sj.Config.Churn,
@@ -100,11 +139,11 @@ type manifestEntry struct {
 }
 
 type resultFile struct {
-	Task   string    `json:"task"`
-	Kind   string    `json:"kind"`
-	Lo     int       `json:"lo"`
-	Hi     int       `json:"hi"`
-	Values []float64 `json:"values"`
+	Task    string    `json:"task"`
+	Measure string    `json:"measure"`
+	Lo      int       `json:"lo"`
+	Hi      int       `json:"hi"`
+	Values  []float64 `json:"values"`
 }
 
 // checkpoint is one process's open handle on a checkpoint directory.
@@ -120,13 +159,13 @@ type checkpoint struct {
 // every completed task from existing manifests, and opens this shard's
 // manifest for appending.
 func openCheckpoint(dir string, spec Spec, shards, shardIndex int) (*checkpoint, error) {
-	if spec.Cfg.Dist != nil {
-		return nil, fmt.Errorf("job: checkpointing with a custom bandwidth distribution is not supported (cannot be recorded in spec.json)")
-	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("job: checkpoint dir: %w", err)
 	}
-	want := specToJSON(spec)
+	want, err := specToJSON(spec)
+	if err != nil {
+		return nil, err
+	}
 	specPath := filepath.Join(dir, specFileName)
 	if raw, err := os.ReadFile(specPath); err == nil {
 		var have specJSON
@@ -134,12 +173,18 @@ func openCheckpoint(dir string, spec Spec, shards, shardIndex int) (*checkpoint,
 			return nil, fmt.Errorf("job: corrupt %s: %w", specPath, err)
 		}
 		switch {
+		case have.Version != want.Version:
+			return nil, errSpecVersion(dir, have.Version)
+		case have.Domain != want.Domain:
+			return nil, fmt.Errorf("job: checkpoint %s sweeps domain %q, this run sweeps %q", dir, have.Domain, want.Domain)
 		case have.Config != want.Config:
 			return nil, fmt.Errorf("job: checkpoint %s was written with a different configuration (have %+v, want %+v)", dir, have.Config, want.Config)
 		case have.Chunk != want.Chunk:
 			return nil, fmt.Errorf("job: checkpoint %s uses chunk %d, this run wants %d", dir, have.Chunk, want.Chunk)
-		case !slices.Equal(have.ProtocolIDs, want.ProtocolIDs):
-			return nil, fmt.Errorf("job: checkpoint %s covers a different protocol set (%d protocols, this run sweeps %d)", dir, len(have.ProtocolIDs), len(want.ProtocolIDs))
+		case !slices.Equal(have.Measures, want.Measures):
+			return nil, fmt.Errorf("job: checkpoint %s covers measures %v, this run computes %v", dir, have.Measures, want.Measures)
+		case !slices.Equal(have.PointIDs, want.PointIDs):
+			return nil, fmt.Errorf("job: checkpoint %s covers a different point set (%d points, this run sweeps %d)", dir, len(have.PointIDs), len(want.PointIDs))
 		}
 	} else if os.IsNotExist(err) {
 		if err := writeFileAtomic(specPath, mustJSON(want)); err != nil {
@@ -165,7 +210,7 @@ func openCheckpoint(dir string, spec Spec, shards, shardIndex int) (*checkpoint,
 // rename), then the manifest line that makes it count, synced so a
 // crash right after record loses nothing.
 func (c *checkpoint) record(t Task, values []float64, elapsed time.Duration) error {
-	rf := resultFile{Task: t.ID(), Kind: t.Kind.String(), Lo: t.Lo, Hi: t.Hi, Values: values}
+	rf := resultFile{Task: t.ID(), Measure: t.Measure, Lo: t.Lo, Hi: t.Hi, Values: values}
 	name := "task-" + t.ID() + ".json"
 	if err := writeFileAtomic(filepath.Join(c.dir, name), mustJSON(rf)); err != nil {
 		return err
@@ -242,14 +287,15 @@ func readResult(path string, t Task) ([]float64, bool) {
 	if json.Unmarshal(raw, &rf) != nil {
 		return nil, false
 	}
-	if rf.Task != t.ID() || rf.Lo != t.Lo || rf.Hi != t.Hi || rf.Kind != t.Kind.String() || len(rf.Values) != t.Hi-t.Lo {
+	if rf.Task != t.ID() || rf.Lo != t.Lo || rf.Hi != t.Hi || rf.Measure != t.Measure || len(rf.Values) != t.Hi-t.Lo {
 		return nil, false
 	}
 	return rf.Values, true
 }
 
-// loadCheckpoint reads dir without a target spec: the spec comes from
-// spec.json. Used by Load (merge/report without re-running).
+// loadCheckpoint reads dir without a target spec: the spec (and through
+// the registry, the domain) comes from spec.json. Used by Load
+// (merge/report without re-running).
 func loadCheckpoint(dir string) (Spec, map[string][]float64, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, specFileName))
 	if err != nil {
@@ -259,7 +305,7 @@ func loadCheckpoint(dir string) (Spec, map[string][]float64, error) {
 	if err := json.Unmarshal(raw, &sj); err != nil {
 		return Spec{}, nil, fmt.Errorf("job: corrupt %s: %w", specFileName, err)
 	}
-	spec, err := specFromJSON(sj)
+	spec, err := specFromJSON(dir, sj)
 	if err != nil {
 		return Spec{}, nil, err
 	}

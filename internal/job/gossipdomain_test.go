@@ -1,0 +1,181 @@
+package job
+
+// Engine parity for the gossip domain: the same guarantees the job
+// engine gives the file-swarming sweep — chunk invariance, resume
+// round-trip, byte-identical multi-shard merge — hold for any Domain,
+// demonstrated here on the 216-protocol gossip space.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsa"
+	"repro/internal/gossip"
+	"repro/internal/pra"
+)
+
+func tinyGossipCfg() dsa.Config {
+	return dsa.Config{Peers: 8, Rounds: 40, PerfRuns: 1, EncounterRuns: 1, Opponents: 4, Seed: 7}
+}
+
+// gossipSubset strides over the gossip space: 18 points at stride 12.
+func gossipSubset(t *testing.T) []core.Point {
+	t.Helper()
+	all := gossip.Domain().Space().Enumerate()
+	var pts []core.Point
+	for i := 0; i < len(all); i += 12 {
+		pts = append(pts, all[i])
+	}
+	return pts
+}
+
+func mustRunGossip(t *testing.T, ctx context.Context, pts []core.Point, opts Options) *dsa.Scores {
+	t.Helper()
+	s, err := Run(ctx, gossip.Domain(), pts, tinyGossipCfg(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGossipChunkInvariance(t *testing.T) {
+	pts := gossipSubset(t)
+	ctx := context.Background()
+	a := mustRunGossip(t, ctx, pts, Options{Chunk: 1})
+	b := mustRunGossip(t, ctx, pts, Options{Chunk: 5})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("chunk size changed the merged gossip scores")
+	}
+	for _, m := range gossip.Domain().Measures() {
+		if len(a.Values[m]) != len(pts) {
+			t.Fatalf("measure %s has %d values, want %d", m, len(a.Values[m]), len(pts))
+		}
+	}
+}
+
+func TestGossipResumeRoundTrip(t *testing.T) {
+	pts := gossipSubset(t)
+	want := mustRunGossip(t, context.Background(), pts, Options{Chunk: 2})
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := Run(ctx, gossip.Domain(), pts, tinyGossipCfg(), Options{
+		Dir: dir, Chunk: 2, Workers: 1,
+		Progress: func(p Progress) {
+			if p.FreshTasks >= 3 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	var resumed Progress
+	got, err := Run(context.Background(), gossip.Domain(), pts, tinyGossipCfg(), Options{
+		Dir: dir, Chunk: 2,
+		Progress: func(p Progress) { resumed = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.FreshTasks >= resumed.TotalTasks {
+		t.Fatalf("resume re-ran everything: %d fresh of %d total", resumed.FreshTasks, resumed.TotalTasks)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed gossip run does not match uninterrupted run")
+	}
+}
+
+// TestGossipTwoShardMergeByteIdentical asserts the merge contract at
+// the byte level: an unsharded run, a 2-shard run merged through the
+// shared checkpoint, and a cold Load of that checkpoint all serialise
+// to identical bytes.
+func TestGossipTwoShardMergeByteIdentical(t *testing.T) {
+	pts := gossipSubset(t)
+	ctx := context.Background()
+	want := mustRunGossip(t, ctx, pts, Options{Chunk: 3})
+
+	dir := t.TempDir()
+	_, err := Run(ctx, gossip.Domain(), pts, tinyGossipCfg(), Options{Dir: dir, Chunk: 3, Shards: 2, ShardIndex: 0})
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("shard 0: err = %v, want ErrIncomplete", err)
+	}
+	got, err := Run(ctx, gossip.Domain(), pts, tinyGossipCfg(), Options{Dir: dir, Chunk: 3, Shards: 2, ShardIndex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := mustJSON(want)
+	for name, s := range map[string]*dsa.Scores{"sharded merge": got, "Load": loaded} {
+		if string(mustJSON(s)) != string(wantJSON) {
+			t.Fatalf("%s is not byte-identical to the unsharded run", name)
+		}
+	}
+}
+
+// TestCrossDomainCheckpointRejected: a gossip run pointed at a
+// swarming checkpoint directory (or vice versa) must fail loudly, not
+// mis-merge two domains' task files.
+func TestCrossDomainCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, context.Background(), subset(t), Options{Dir: dir})
+
+	_, err := Run(context.Background(), gossip.Domain(), gossipSubset(t), tinyGossipCfg(), Options{Dir: dir})
+	if err == nil || errors.Is(err, ErrIncomplete) {
+		t.Fatalf("gossip run accepted a swarming checkpoint (err = %v)", err)
+	}
+	if !strings.Contains(err.Error(), "domain") {
+		t.Fatalf("rejection should name the domain mismatch, got: %v", err)
+	}
+}
+
+// TestV1CheckpointRejected: a checkpoint directory written by the
+// pre-Domain engine (spec version 1, keyed by pra.ScoreKind and
+// protocol IDs) must be detected and rejected with a helpful error —
+// resuming into it or loading it could otherwise silently mis-merge.
+func TestV1CheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	v1 := map[string]any{
+		"version": 1,
+		"config": map[string]any{
+			"peers": 10, "rounds": 30, "perf_runs": 1, "encounter_runs": 1,
+			"opponents": 4, "seed": 7, "churn": 0.0,
+		},
+		"chunk":        32,
+		"protocol_ids": []int{0, 200, 400},
+	}
+	raw, err := json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, specFileName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	checkErr := func(what string, err error) {
+		t.Helper()
+		if err == nil || errors.Is(err, ErrIncomplete) {
+			t.Fatalf("%s accepted a v1 checkpoint (err = %v)", what, err)
+		}
+		for _, needle := range []string{"version 1", "re-run"} {
+			if !strings.Contains(err.Error(), needle) {
+				t.Fatalf("%s rejection should mention %q, got: %v", what, needle, err)
+			}
+		}
+	}
+	_, err = Run(context.Background(), pra.Domain(), subset(t), tinyCfg(), Options{Dir: dir})
+	checkErr("Run", err)
+	_, err = Load(dir)
+	checkErr("Load", err)
+}

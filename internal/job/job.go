@@ -1,14 +1,16 @@
-// Package job is the sharded, checkpointed execution engine behind PRA
-// sweeps. The paper's headline experiment — quantifying all 3270
-// protocols at Section 4.3 scale — cost ~25 cluster-hours, so a sweep
-// must be splittable across processes and machines and must survive
-// interruption.
+// Package job is the sharded, checkpointed execution engine behind
+// design-space sweeps. The paper's headline experiment — quantifying
+// all 3270 file-swarming protocols at Section 4.3 scale — cost ~25
+// cluster-hours, so a sweep must be splittable across processes and
+// machines and must survive interruption.
 //
-// A sweep decomposes into deterministic tasks: one (score kind ×
-// protocol chunk) slice each, computed by pra.ScoreSlice. Seeds derive
-// from protocol identity (pra's runSeed scheme), so task results are
-// identical regardless of chunk size, shard count, worker count or
-// scheduling order — sharded runs merge to byte-identical Scores.
+// The engine is domain-agnostic: it runs any dsa.Domain. A sweep
+// decomposes into deterministic tasks, one (measure × point chunk)
+// slice each, computed by the domain's ScoreSlice. Seeds derive from
+// point identity (dsa.TaskSeed or an equivalent scheme), so task
+// results are identical regardless of chunk size, shard count, worker
+// count or scheduling order — sharded runs merge to byte-identical
+// Scores.
 //
 // Tasks are distributed round-robin over opts.Shards shard processes;
 // each process executes its share on a bounded worker pool with context
@@ -28,35 +30,36 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/design"
-	"repro/internal/pra"
+	"repro/internal/core"
+	"repro/internal/dsa"
 )
 
-// DefaultChunk is the number of protocols per task: small enough that a
+// DefaultChunk is the number of points per task: small enough that a
 // paper-scale sweep yields hundreds of tasks (fine-grained progress,
 // cheap loss on interruption), large enough to amortise bookkeeping.
 const DefaultChunk = 32
 
-// Task is one schedulable unit: compute one score kind for the
-// half-open protocol index range [Lo,Hi) of the sweep's protocol list.
+// Task is one schedulable unit: compute one measure for the half-open
+// point index range [Lo,Hi) of the sweep's point list.
 type Task struct {
-	Kind   pra.ScoreKind
-	Lo, Hi int
+	Measure string
+	Lo, Hi  int
 }
 
 // ID returns the task's stable identifier, used as the checkpoint key
 // and result file stem.
 func (t Task) ID() string {
-	return fmt.Sprintf("%s-%05d-%05d", t.Kind, t.Lo, t.Hi)
+	return fmt.Sprintf("%s-%05d-%05d", t.Measure, t.Lo, t.Hi)
 }
 
-// Spec pins down a sweep completely: the protocol list, the PRA
-// configuration and the chunking. Two runs with equal specs enumerate
-// equal task lists and produce equal results.
+// Spec pins down a sweep completely: the domain, the point list, the
+// sweep configuration and the chunking. Two runs with equal specs
+// enumerate equal task lists and produce equal results.
 type Spec struct {
-	Protos []design.Protocol
-	Cfg    pra.Config
-	Chunk  int // protocols per task; 0 = DefaultChunk
+	Domain dsa.Domain
+	Points []core.Point
+	Cfg    dsa.Config
+	Chunk  int // points per task; 0 = DefaultChunk
 }
 
 func (s Spec) chunk() int {
@@ -66,13 +69,13 @@ func (s Spec) chunk() int {
 	return DefaultChunk
 }
 
-// Tasks enumerates the sweep's tasks in deterministic order: protocol
-// chunks of each score kind, kinds in pra.Kinds order.
+// Tasks enumerates the sweep's tasks in deterministic order: point
+// chunks of each measure, measures in the domain's canonical order.
 func (s Spec) Tasks() []Task {
 	var out []Task
-	for _, k := range pra.Kinds {
-		for lo := 0; lo < len(s.Protos); lo += s.chunk() {
-			out = append(out, Task{Kind: k, Lo: lo, Hi: min(lo+s.chunk(), len(s.Protos))})
+	for _, m := range s.Domain.Measures() {
+		for lo := 0; lo < len(s.Points); lo += s.chunk() {
+			out = append(out, Task{Measure: m, Lo: lo, Hi: min(lo+s.chunk(), len(s.Points))})
 		}
 	}
 	return out
@@ -95,7 +98,7 @@ type Options struct {
 	Dir        string // checkpoint directory; "" disables checkpointing
 	Shards     int    // total shard processes; <= 0 means 1
 	ShardIndex int    // this process's shard in [0,Shards)
-	Chunk      int    // protocols per task; 0 = DefaultChunk
+	Chunk      int    // points per task; 0 = DefaultChunk
 	Workers    int    // task-level workers; 0 = Cfg.Workers or GOMAXPROCS
 	// Progress, if non-nil, is called after every completed task.
 	// Calls are serialized (never concurrent), but may come from any
@@ -109,18 +112,21 @@ type Options struct {
 // outstanding, so the merged Scores cannot be assembled yet.
 var ErrIncomplete = errors.New("job: sweep incomplete")
 
-// Run executes the sweep described by (protos, cfg) — nil protos means
-// the whole design space — under the given options and returns the
-// merged Scores once every task of every shard is accounted for.
+// Run executes the sweep of the given domain over points (nil points
+// means the domain's whole space) under the given options and returns
+// the merged Scores once every task of every shard is accounted for.
 //
 // With Options.Dir set, completed tasks are read back from the
 // checkpoint before any work starts and each fresh task is persisted as
 // it finishes, so a killed or cancelled run resumes where it left off.
 // If this process finishes its shard while other shards' tasks remain,
 // Run returns ErrIncomplete (wrapped with counts).
-func Run(ctx context.Context, protos []design.Protocol, cfg pra.Config, opts Options) (*pra.Scores, error) {
-	if protos == nil {
-		protos = design.Enumerate()
+func Run(ctx context.Context, d dsa.Domain, points []core.Point, cfg dsa.Config, opts Options) (*dsa.Scores, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if points == nil {
+		points = d.Space().Enumerate()
 	}
 	shards := opts.Shards
 	if shards <= 0 {
@@ -129,7 +135,7 @@ func Run(ctx context.Context, protos []design.Protocol, cfg pra.Config, opts Opt
 	if opts.ShardIndex < 0 || opts.ShardIndex >= shards {
 		return nil, fmt.Errorf("job: shard index %d out of range [0,%d)", opts.ShardIndex, shards)
 	}
-	spec := Spec{Protos: protos, Cfg: cfg, Chunk: opts.Chunk}
+	spec := Spec{Domain: d, Points: points, Cfg: cfg, Chunk: opts.Chunk}
 	tasks := spec.Tasks()
 
 	results := make(map[string][]float64, len(tasks))
@@ -148,7 +154,7 @@ func Run(ctx context.Context, protos []design.Protocol, cfg pra.Config, opts Opt
 
 	// Round-robin task ownership: task i belongs to shard i mod shards.
 	// Interleaving (rather than contiguous ranges) spreads the cheap
-	// performance tasks and the expensive tournament tasks evenly, so
+	// homogeneous tasks and the expensive tournament tasks evenly, so
 	// equally-sized shards take similar wall time.
 	var mine []Task
 	for i, t := range tasks {
@@ -201,12 +207,12 @@ func runPool(ctx context.Context, spec Spec, mine []Task, cp *checkpoint, result
 	}
 	poolSize := min(workers, len(mine))
 	// Parallelism lives at the task level; when there are fewer tasks
-	// than workers, give each task's inner pra calls the spare share
+	// than workers, give each task's inner ScoreSlice the spare share
 	// so small sweeps still use the machine. Inner worker count never
 	// affects values, only speed.
 	taskCfg := spec.Cfg
 	taskCfg.Workers = max(1, workers/poolSize)
-	opponents := pra.SampleOpponents(spec.Cfg)
+	opponents := spec.Domain.SampleOpponents(spec.Cfg)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -235,7 +241,7 @@ func runPool(ctx context.Context, spec Spec, mine []Task, cp *checkpoint, result
 					return
 				}
 				taskStart := time.Now()
-				vals, err := pra.ScoreSlice(t.Kind, spec.Protos[t.Lo:t.Hi], opponents, taskCfg)
+				vals, err := spec.Domain.ScoreSlice(t.Measure, spec.Points[t.Lo:t.Hi], opponents, taskCfg)
 				if err != nil {
 					fail(fmt.Errorf("job: task %s: %w", t.ID(), err))
 					return
@@ -283,11 +289,11 @@ feed:
 }
 
 // assemble stitches per-task value slices into the merged Scores,
-// applying the set-wide performance normalisation last.
-func assemble(spec Spec, results map[string][]float64) (*pra.Scores, error) {
-	raw := make(map[pra.ScoreKind][]float64, len(pra.Kinds))
-	for _, k := range pra.Kinds {
-		raw[k] = make([]float64, len(spec.Protos))
+// handing the domain the whole-set post-processing last.
+func assemble(spec Spec, results map[string][]float64) (*dsa.Scores, error) {
+	raw := make(map[string][]float64, len(spec.Domain.Measures()))
+	for _, m := range spec.Domain.Measures() {
+		raw[m] = make([]float64, len(spec.Points))
 	}
 	for _, t := range spec.Tasks() {
 		vals, ok := results[t.ID()]
@@ -297,16 +303,18 @@ func assemble(spec Spec, results map[string][]float64) (*pra.Scores, error) {
 		if len(vals) != t.Hi-t.Lo {
 			return nil, fmt.Errorf("job: task %s has %d values, want %d", t.ID(), len(vals), t.Hi-t.Lo)
 		}
-		copy(raw[t.Kind][t.Lo:t.Hi], vals)
+		copy(raw[t.Measure][t.Lo:t.Hi], vals)
 	}
-	return pra.Assemble(spec.Protos, raw)
+	return spec.Domain.Assemble(spec.Points, raw)
 }
 
 // Load reassembles the Scores of a checkpointed sweep — possibly
 // written by several shard processes whose manifests share (or were
-// copied into) dir — without running any simulation. It returns
+// copied into) dir — without running any simulation. The domain is
+// resolved from the checkpoint spec through the dsa registry, so the
+// calling program must import the domain's package. It returns
 // ErrIncomplete (wrapped with counts) if tasks are still outstanding.
-func Load(dir string) (*pra.Scores, error) {
+func Load(dir string) (*dsa.Scores, error) {
 	spec, results, err := loadCheckpoint(dir)
 	if err != nil {
 		return nil, err

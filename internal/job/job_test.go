@@ -8,29 +8,31 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/design"
+	"repro/internal/core"
+	"repro/internal/dsa"
 	"repro/internal/pra"
 )
 
-// tinyCfg is small enough for unit tests while exercising every kind.
-func tinyCfg() pra.Config {
-	return pra.Config{Peers: 10, Rounds: 30, PerfRuns: 1, EncounterRuns: 1, Opponents: 4, Seed: 7}
+// tinyCfg is small enough for unit tests while exercising every
+// measure of the swarming domain.
+func tinyCfg() dsa.Config {
+	return dsa.Config{Peers: 10, Rounds: 30, PerfRuns: 1, EncounterRuns: 1, Opponents: 4, Seed: 7}
 }
 
-// subset strides over the space: 17 protocols at stride 200.
-func subset(t *testing.T) []design.Protocol {
+// subset strides over the swarming space: 17 points at stride 200.
+func subset(t *testing.T) []core.Point {
 	t.Helper()
-	all := design.Enumerate()
-	var ps []design.Protocol
+	all := pra.Domain().Space().Enumerate()
+	var pts []core.Point
 	for i := 0; i < len(all); i += 200 {
-		ps = append(ps, all[i])
+		pts = append(pts, all[i])
 	}
-	return ps
+	return pts
 }
 
-func mustRun(t *testing.T, ctx context.Context, ps []design.Protocol, opts Options) *pra.Scores {
+func mustRun(t *testing.T, ctx context.Context, pts []core.Point, opts Options) *dsa.Scores {
 	t.Helper()
-	s, err := Run(ctx, ps, tinyCfg(), opts)
+	s, err := Run(ctx, pra.Domain(), pts, tinyCfg(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,61 +40,62 @@ func mustRun(t *testing.T, ctx context.Context, ps []design.Protocol, opts Optio
 }
 
 func TestTaskEnumeration(t *testing.T) {
-	spec := Spec{Protos: subset(t), Cfg: tinyCfg(), Chunk: 4}
+	spec := Spec{Domain: pra.Domain(), Points: subset(t), Cfg: tinyCfg(), Chunk: 4}
 	tasks := spec.Tasks()
-	perKind := (len(spec.Protos) + 3) / 4
-	if len(tasks) != 3*perKind {
-		t.Fatalf("tasks = %d, want %d", len(tasks), 3*perKind)
+	perMeasure := (len(spec.Points) + 3) / 4
+	measures := spec.Domain.Measures()
+	if len(tasks) != len(measures)*perMeasure {
+		t.Fatalf("tasks = %d, want %d", len(tasks), len(measures)*perMeasure)
 	}
-	// Each kind's ranges must tile [0, len) exactly, in order.
-	next := map[pra.ScoreKind]int{}
+	// Each measure's ranges must tile [0, len) exactly, in order.
+	next := map[string]int{}
 	seen := map[string]bool{}
 	for _, task := range tasks {
-		if task.Lo != next[task.Kind] {
-			t.Fatalf("task %s starts at %d, want %d", task.ID(), task.Lo, next[task.Kind])
+		if task.Lo != next[task.Measure] {
+			t.Fatalf("task %s starts at %d, want %d", task.ID(), task.Lo, next[task.Measure])
 		}
-		if task.Hi <= task.Lo || task.Hi > len(spec.Protos) {
+		if task.Hi <= task.Lo || task.Hi > len(spec.Points) {
 			t.Fatalf("task %s has bad range", task.ID())
 		}
 		if seen[task.ID()] {
 			t.Fatalf("duplicate task ID %s", task.ID())
 		}
 		seen[task.ID()] = true
-		next[task.Kind] = task.Hi
+		next[task.Measure] = task.Hi
 	}
-	for _, k := range pra.Kinds {
-		if next[k] != len(spec.Protos) {
-			t.Fatalf("%s tasks cover %d of %d protocols", k, next[k], len(spec.Protos))
+	for _, m := range measures {
+		if next[m] != len(spec.Points) {
+			t.Fatalf("%s tasks cover %d of %d points", m, next[m], len(spec.Points))
 		}
 	}
 }
 
 func TestChunkInvariance(t *testing.T) {
-	ps := subset(t)
+	pts := subset(t)
 	ctx := context.Background()
-	a := mustRun(t, ctx, ps, Options{Chunk: 1})
-	b := mustRun(t, ctx, ps, Options{Chunk: 7})
+	a := mustRun(t, ctx, pts, Options{Chunk: 1})
+	b := mustRun(t, ctx, pts, Options{Chunk: 7})
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("chunk size changed the merged scores")
 	}
 }
 
 func TestShardedMatchesUnsharded(t *testing.T) {
-	ps := subset(t)
+	pts := subset(t)
 	ctx := context.Background()
-	want := mustRun(t, ctx, ps, Options{Chunk: 3})
+	want := mustRun(t, ctx, pts, Options{Chunk: 3})
 
 	dir := t.TempDir()
 	const shards = 3
 	// Shards 0 and 1 finish their share but cannot assemble yet.
 	for idx := 0; idx < shards-1; idx++ {
-		_, err := Run(ctx, ps, tinyCfg(), Options{Dir: dir, Chunk: 3, Shards: shards, ShardIndex: idx})
+		_, err := Run(ctx, pra.Domain(), pts, tinyCfg(), Options{Dir: dir, Chunk: 3, Shards: shards, ShardIndex: idx})
 		if !errors.Is(err, ErrIncomplete) {
 			t.Fatalf("shard %d: err = %v, want ErrIncomplete", idx, err)
 		}
 	}
 	// The last shard finds every other task checkpointed and merges.
-	got, err := Run(ctx, ps, tinyCfg(), Options{Dir: dir, Chunk: 3, Shards: shards, ShardIndex: shards - 1})
+	got, err := Run(ctx, pra.Domain(), pts, tinyCfg(), Options{Dir: dir, Chunk: 3, Shards: shards, ShardIndex: shards - 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,19 +119,19 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 // checkpoint. Shard 1 runs to completion from inside shard 0's first
 // progress callback, i.e. strictly mid-run.
 func TestLastFinishingShardAssembles(t *testing.T) {
-	ps := subset(t)
-	want := mustRun(t, context.Background(), ps, Options{Chunk: 3})
+	pts := subset(t)
+	want := mustRun(t, context.Background(), pts, Options{Chunk: 3})
 
 	dir := t.TempDir()
 	ranOther := false
-	got, err := Run(context.Background(), ps, tinyCfg(), Options{
+	got, err := Run(context.Background(), pra.Domain(), pts, tinyCfg(), Options{
 		Dir: dir, Chunk: 3, Shards: 2, ShardIndex: 0, Workers: 1,
 		Progress: func(Progress) {
 			if ranOther {
 				return
 			}
 			ranOther = true
-			_, err := Run(context.Background(), ps, tinyCfg(), Options{Dir: dir, Chunk: 3, Shards: 2, ShardIndex: 1})
+			_, err := Run(context.Background(), pra.Domain(), pts, tinyCfg(), Options{Dir: dir, Chunk: 3, Shards: 2, ShardIndex: 1})
 			if !errors.Is(err, ErrIncomplete) {
 				t.Errorf("inner shard: err = %v, want ErrIncomplete", err)
 			}
@@ -143,13 +146,13 @@ func TestLastFinishingShardAssembles(t *testing.T) {
 }
 
 func TestResumeAfterCancelMatchesUninterrupted(t *testing.T) {
-	ps := subset(t)
-	want := mustRun(t, context.Background(), ps, Options{Chunk: 2})
+	pts := subset(t)
+	want := mustRun(t, context.Background(), pts, Options{Chunk: 2})
 
 	dir := t.TempDir()
 	ctx, cancel := context.WithCancel(context.Background())
 	interrupted := 0
-	_, err := Run(ctx, ps, tinyCfg(), Options{
+	_, err := Run(ctx, pra.Domain(), pts, tinyCfg(), Options{
 		Dir: dir, Chunk: 2, Workers: 1,
 		Progress: func(p Progress) {
 			interrupted = p.FreshTasks
@@ -166,7 +169,7 @@ func TestResumeAfterCancelMatchesUninterrupted(t *testing.T) {
 	}
 
 	var resumed Progress
-	got, err := Run(context.Background(), ps, tinyCfg(), Options{
+	got, err := Run(context.Background(), pra.Domain(), pts, tinyCfg(), Options{
 		Dir: dir, Chunk: 2,
 		Progress: func(p Progress) { resumed = p },
 	})
@@ -185,7 +188,7 @@ func TestPreCancelledRunsNothing(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	fresh := 0
-	_, err := Run(ctx, subset(t), tinyCfg(), Options{Progress: func(p Progress) { fresh = p.FreshTasks }})
+	_, err := Run(ctx, pra.Domain(), subset(t), tinyCfg(), Options{Progress: func(p Progress) { fresh = p.FreshTasks }})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -195,24 +198,24 @@ func TestPreCancelledRunsNothing(t *testing.T) {
 }
 
 func TestSpecMismatchRejected(t *testing.T) {
-	ps := subset(t)
+	pts := subset(t)
 	dir := t.TempDir()
-	mustRun(t, context.Background(), ps, Options{Dir: dir})
+	mustRun(t, context.Background(), pts, Options{Dir: dir})
 
 	other := tinyCfg()
 	other.Seed = 99
-	if _, err := Run(context.Background(), ps, other, Options{Dir: dir}); err == nil || errors.Is(err, ErrIncomplete) {
+	if _, err := Run(context.Background(), pra.Domain(), pts, other, Options{Dir: dir}); err == nil || errors.Is(err, ErrIncomplete) {
 		t.Fatalf("different seed accepted against existing checkpoint (err = %v)", err)
 	}
-	if _, err := Run(context.Background(), ps[:5], tinyCfg(), Options{Dir: dir}); err == nil || errors.Is(err, ErrIncomplete) {
-		t.Fatalf("different protocol set accepted against existing checkpoint (err = %v)", err)
+	if _, err := Run(context.Background(), pra.Domain(), pts[:5], tinyCfg(), Options{Dir: dir}); err == nil || errors.Is(err, ErrIncomplete) {
+		t.Fatalf("different point set accepted against existing checkpoint (err = %v)", err)
 	}
 }
 
 func TestTornManifestLineIsReRun(t *testing.T) {
-	ps := subset(t)
+	pts := subset(t)
 	dir := t.TempDir()
-	want := mustRun(t, context.Background(), ps, Options{Dir: dir})
+	want := mustRun(t, context.Background(), pts, Options{Dir: dir})
 
 	// Simulate a crash mid-append: garbage tail on the manifest.
 	matches, err := filepath.Glob(filepath.Join(dir, "manifest-*.jsonl"))
@@ -236,7 +239,7 @@ func TestTornManifestLineIsReRun(t *testing.T) {
 		t.Fatal("torn manifest line changed the loaded scores")
 	}
 	// Resuming over the torn journal still assembles the same result.
-	resumed := mustRun(t, context.Background(), ps, Options{Dir: dir})
+	resumed := mustRun(t, context.Background(), pts, Options{Dir: dir})
 	if !reflect.DeepEqual(resumed, want) {
 		t.Fatal("resume over torn manifest does not match")
 	}

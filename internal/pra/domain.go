@@ -1,0 +1,188 @@
+package pra
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/dsa"
+)
+
+// DomainName is the file-swarming domain's registry name.
+const DomainName = "swarming"
+
+func init() { dsa.Register(Domain()) }
+
+// Domain returns the file-swarming design space of Section 4 as a
+// dsa.Domain: the exported quantification primitives of this package
+// (ScoreSlice, Assemble, SampleOpponents) behind the generic interface,
+// which is what the sharded job engine and the CLIs run against.
+func Domain() dsa.Domain { return swarmingDomain{} }
+
+type swarmingDomain struct{}
+
+func (swarmingDomain) Name() string { return DomainName }
+
+// space is shared so the lazily built enumeration is computed once.
+var swarmingSpace = core.FileSwarmingSpace()
+
+func (swarmingDomain) Space() *core.Space { return swarmingSpace }
+
+func (swarmingDomain) PointID(p core.Point) (int, error) {
+	proto, err := core.PointProtocol(p)
+	if err != nil {
+		return 0, err
+	}
+	return design.ID(proto), nil
+}
+
+func (swarmingDomain) PointByID(id int) (core.Point, error) {
+	proto, err := design.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return core.ProtocolPoint(proto), nil
+}
+
+func (swarmingDomain) Label(p core.Point) string {
+	proto, err := core.PointProtocol(p)
+	if err != nil {
+		return p.Key()
+	}
+	return proto.String()
+}
+
+func (swarmingDomain) Measures() []string {
+	out := make([]string, len(Kinds))
+	for i, k := range Kinds {
+		out[i] = k.String()
+	}
+	return out
+}
+
+func (swarmingDomain) DefaultConfig(preset string) (dsa.Config, error) {
+	switch preset {
+	case "quick":
+		return Quick().Generic(), nil
+	case "paper":
+		return Paper().Generic(), nil
+	}
+	return dsa.Config{}, fmt.Errorf("pra: unknown preset %q (want quick or paper)", preset)
+}
+
+func (swarmingDomain) SampleOpponents(cfg dsa.Config) []core.Point {
+	return protocolsToPoints(SampleOpponents(FromGeneric(cfg)))
+}
+
+func (swarmingDomain) ScoreSlice(measure string, pts, opponents []core.Point, cfg dsa.Config) ([]float64, error) {
+	kind, err := ParseScoreKind(measure)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := pointsToProtocols(pts)
+	if err != nil {
+		return nil, err
+	}
+	opps, err := pointsToProtocols(opponents)
+	if err != nil {
+		return nil, err
+	}
+	return ScoreSlice(kind, ps, opps, FromGeneric(cfg))
+}
+
+func (swarmingDomain) Assemble(pts []core.Point, raw map[string][]float64) (*dsa.Scores, error) {
+	ps, err := pointsToProtocols(pts)
+	if err != nil {
+		return nil, err
+	}
+	byKind := make(map[ScoreKind][]float64, len(Kinds))
+	for _, k := range Kinds {
+		byKind[k] = raw[k.String()]
+	}
+	scores, err := Assemble(ps, byKind)
+	if err != nil {
+		return nil, err
+	}
+	// Raw and Values get distinct backing slices so a caller mutating
+	// one view cannot silently corrupt the other (or the engine's
+	// in-memory task results).
+	return &dsa.Scores{
+		Domain: DomainName,
+		Points: pts,
+		Raw: map[string][]float64{
+			KindPerformance.String():    slices.Clone(scores.RawPerformance),
+			KindRobustness.String():     slices.Clone(scores.Robustness),
+			KindAggressiveness.String(): slices.Clone(scores.Aggressiveness),
+		},
+		Values: map[string][]float64{
+			KindPerformance.String():    slices.Clone(scores.Performance),
+			KindRobustness.String():     slices.Clone(scores.Robustness),
+			KindAggressiveness.String(): slices.Clone(scores.Aggressiveness),
+		},
+	}, nil
+}
+
+// Generic maps the result-affecting knobs onto the domain-independent
+// config. A custom Dist cannot cross the generic boundary (it is not
+// serialisable into a checkpoint spec); callers needing one use this
+// package directly.
+func (c Config) Generic() dsa.Config {
+	return dsa.Config{
+		Peers: c.Peers, Rounds: c.Rounds,
+		PerfRuns: c.PerfRuns, EncounterRuns: c.EncounterRuns,
+		Opponents: c.Opponents, Seed: c.Seed, Churn: c.Churn,
+		Workers: c.Workers,
+	}
+}
+
+// FromGeneric is the inverse of Config.Generic (with the default
+// bandwidth distribution).
+func FromGeneric(g dsa.Config) Config {
+	return Config{
+		Peers: g.Peers, Rounds: g.Rounds,
+		PerfRuns: g.PerfRuns, EncounterRuns: g.EncounterRuns,
+		Opponents: g.Opponents, Seed: g.Seed, Churn: g.Churn,
+		Workers: g.Workers,
+	}
+}
+
+// ScoresFromGeneric converts assembled generic scores of the swarming
+// domain back into the typed Scores used by the figure and table
+// extractors.
+func ScoresFromGeneric(s *dsa.Scores) (*Scores, error) {
+	if s.Domain != DomainName {
+		return nil, fmt.Errorf("pra: scores are for domain %q, not %q", s.Domain, DomainName)
+	}
+	ps, err := pointsToProtocols(s.Points)
+	if err != nil {
+		return nil, err
+	}
+	return &Scores{
+		Protocols:      ps,
+		RawPerformance: s.Raw[KindPerformance.String()],
+		Performance:    s.Values[KindPerformance.String()],
+		Robustness:     s.Values[KindRobustness.String()],
+		Aggressiveness: s.Values[KindAggressiveness.String()],
+	}, nil
+}
+
+func pointsToProtocols(pts []core.Point) ([]design.Protocol, error) {
+	out := make([]design.Protocol, len(pts))
+	for i, p := range pts {
+		proto, err := core.PointProtocol(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = proto
+	}
+	return out, nil
+}
+
+func protocolsToPoints(ps []design.Protocol) []core.Point {
+	out := make([]core.Point, len(ps))
+	for i, p := range ps {
+		out[i] = core.ProtocolPoint(p)
+	}
+	return out
+}

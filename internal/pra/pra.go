@@ -20,11 +20,11 @@ package pra
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/bandwidth"
 	"repro/internal/cyclesim"
 	"repro/internal/design"
+	"repro/internal/dsa"
 )
 
 // Config scales the quantification. The zero value is not valid; start
@@ -87,51 +87,12 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// mix64 is a splitmix64-style hash used to derive independent run seeds
-// from task coordinates, keeping every simulation deterministic and
-// independent of scheduling.
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
+// runSeed derives independent run seeds from task coordinates, keeping
+// every simulation deterministic and independent of scheduling. It is
+// dsa.TaskSeed — the one seed-derivation scheme shared by every domain,
+// so the checkpoint/merge determinism contract has a single definition.
 func runSeed(master int64, a, b, run, kind int) int64 {
-	h := mix64(uint64(master))
-	h = mix64(h ^ uint64(a)*0x100000001b3)
-	h = mix64(h ^ uint64(b)*0x1000193)
-	h = mix64(h ^ uint64(run)<<8 ^ uint64(kind))
-	return int64(h &^ (1 << 63))
-}
-
-// parallelFor runs fn(i) for i in [0,n) on w workers.
-func parallelFor(n, w int, fn func(i int)) {
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	return dsa.TaskSeed(master, a, b, run, kind)
 }
 
 // homogeneousSpecs builds an all-Π population with stratified
@@ -212,7 +173,7 @@ func PerformanceSweep(ps []design.Protocol, cfg Config) ([]float64, error) {
 	dist := cfg.dist()
 	out := make([]float64, len(ps))
 	errs := make([]error, len(ps))
-	parallelFor(len(ps), cfg.workers(), func(i int) {
+	dsa.ParallelFor(len(ps), cfg.workers(), func(i int) {
 		specs := homogeneousSpecs(ps[i], cfg.Peers, dist)
 		var sum float64
 		for r := 0; r < cfg.PerfRuns; r++ {
@@ -270,22 +231,10 @@ func Encounter(a, b design.Protocol, frac float64, cfg Config, seed int64) (mean
 // SampleOpponents returns the fixed opponent panel used by reduced
 // configurations: cfg.Opponents protocols drawn deterministically and
 // evenly from the full space (or the whole space when Opponents is 0 or
-// exceeds it). Every tournament uses the same panel, keeping scores
-// comparable across protocols.
+// exceeds it) by dsa.SamplePanel. Every tournament uses the same panel,
+// keeping scores comparable across protocols.
 func SampleOpponents(cfg Config) []design.Protocol {
-	all := design.Enumerate()
-	if cfg.Opponents <= 0 || cfg.Opponents >= len(all) {
-		return all
-	}
-	out := make([]design.Protocol, 0, cfg.Opponents)
-	// Even strides keep the panel representative of every region of
-	// the space; the offset derives from the master seed.
-	offset := int(mix64(uint64(cfg.Seed)) % uint64(len(all)))
-	for j := 0; j < cfg.Opponents; j++ {
-		idx := (offset + j*len(all)/cfg.Opponents) % len(all)
-		out = append(out, all[idx])
-	}
-	return out
+	return dsa.SamplePanel(design.Enumerate(), cfg.Opponents, cfg.Seed)
 }
 
 // TournamentScores plays every protocol in ps against every opponent at
@@ -301,7 +250,7 @@ func TournamentScores(ps, opponents []design.Protocol, frac float64, cfg Config)
 	games := make([]int, len(ps))
 	errs := make([]error, len(ps))
 	kind := int(frac * 1000)
-	parallelFor(len(ps), cfg.workers(), func(i int) {
+	dsa.ParallelFor(len(ps), cfg.workers(), func(i int) {
 		idA := design.ID(ps[i])
 		for _, opp := range opponents {
 			idB := design.ID(opp)

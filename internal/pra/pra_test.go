@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/design"
+	"repro/internal/dsa"
 	"repro/internal/stats"
 )
 
@@ -268,7 +269,7 @@ func TestRunSeedIndependence(t *testing.T) {
 func TestParallelForCoversAll(t *testing.T) {
 	for _, w := range []int{1, 3, 8} {
 		hit := make([]bool, 100)
-		parallelFor(100, w, func(i int) { hit[i] = true })
+		dsa.ParallelFor(100, w, func(i int) { hit[i] = true })
 		for i, h := range hit {
 			if !h {
 				t.Fatalf("workers=%d: index %d not visited", w, i)
@@ -276,5 +277,5 @@ func TestParallelForCoversAll(t *testing.T) {
 		}
 	}
 	// n < workers and n == 0 edge cases.
-	parallelFor(0, 4, func(int) { t.Fatal("should not run") })
+	dsa.ParallelFor(0, 4, func(int) { t.Fatal("should not run") })
 }

@@ -18,6 +18,10 @@
 //     quantification (Sections 3.2, 4.3).
 //   - internal/core      — the domain-agnostic DSA framework with
 //     exhaustive and heuristic explorers (Sections 3, 7).
+//   - internal/dsa       — the Domain interface: what a design space
+//     must provide for the generic engine layers to run it.
+//   - internal/job       — the sharded, checkpointed sweep engine; it
+//     executes any Domain.
 //   - internal/swarm     — the piece-level BitTorrent swarm simulator
 //     used for validation (Section 5).
 //   - internal/gossip    — DSA applied to the gossip domain
@@ -30,10 +34,19 @@
 package repro
 
 import (
+	"context"
+
+	"repro/internal/core"
 	"repro/internal/design"
+	"repro/internal/dsa"
 	"repro/internal/exp"
+	"repro/internal/job"
 	"repro/internal/pra"
 	"repro/internal/swarm"
+
+	// Register the built-in gossip domain (pra registers swarming and
+	// is imported above).
+	_ "repro/internal/gossip"
 )
 
 // Protocol is one point in the file-swarming design space.
@@ -82,6 +95,64 @@ func PaperConfig() Config { return pra.Paper() }
 func RunPRA(protocols []Protocol, cfg Config) (*SweepResult, error) {
 	return exp.Sweep(protocols, cfg)
 }
+
+// Domain packages one design space (its core.Space, point↔ID codec,
+// measure kinds, deterministic ScoreSlice evaluator and whole-set
+// Assemble step) for the generic engine layers. Implementing it buys a
+// new domain sharding, checkpointing, resume and the CLIs for free.
+type Domain = dsa.Domain
+
+// SweepConfig is the domain-independent sweep scale.
+type SweepConfig = dsa.Config
+
+// SweepOptions controls sharding, checkpointing and progress reporting
+// of a generic sweep.
+type SweepOptions = job.Options
+
+// DomainScores is the assembled result of a generic sweep: per-measure
+// value vectors aligned with the swept points.
+type DomainScores = dsa.Scores
+
+// SweepProgress is the snapshot passed to SweepOptions.Progress after
+// every completed task.
+type SweepProgress = job.Progress
+
+// SpacePoint is one point of a design space (a vector of value
+// indices, one per dimension).
+type SpacePoint = core.Point
+
+// ErrSweepIncomplete reports that this process's shard is done but
+// other shards' tasks are still outstanding.
+var ErrSweepIncomplete = job.ErrIncomplete
+
+// Domains returns every registered DSA domain, sorted by name. The
+// built-ins — the file-swarming space of Section 4 ("swarming",
+// internal/pra) and the gossip space of Section 3.1 ("gossip",
+// internal/gossip) — register on import; additional domains appear
+// here once their package is imported.
+func Domains() []Domain { return dsa.Registered() }
+
+// DomainByName resolves a registered domain by name.
+func DomainByName(name string) (Domain, error) { return dsa.Get(name) }
+
+// RunSweep runs the full quantification of a domain (nil points =
+// whole space semantics: every valid point) through the sharded,
+// checkpointed job engine and returns the assembled scores.
+func RunSweep(d Domain, cfg SweepConfig, opts SweepOptions) (*DomainScores, error) {
+	return RunSweepContext(context.Background(), d, nil, cfg, opts)
+}
+
+// RunSweepContext is RunSweep with explicit context and point set (nil
+// = the whole space): cancelling the context stops the sweep after the
+// in-flight tasks drain, and a checkpointed run resumes where it left
+// off.
+func RunSweepContext(ctx context.Context, d Domain, points []SpacePoint, cfg SweepConfig, opts SweepOptions) (*DomainScores, error) {
+	return job.Run(ctx, d, points, cfg, opts)
+}
+
+// LoadSweep reassembles a checkpointed sweep of any registered domain
+// without running any simulation.
+func LoadSweep(dir string) (*DomainScores, error) { return job.Load(dir) }
 
 // DefaultSwarm returns the Section 5 swarm setup (5 MiB file, 128 KiB/s
 // seeder, 10 s choke interval).

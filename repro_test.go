@@ -1,6 +1,10 @@
 package repro
 
-import "testing"
+import (
+	"context"
+	"reflect"
+	"testing"
+)
 
 func TestFacadeProtocols(t *testing.T) {
 	ps := Protocols()
@@ -40,5 +44,34 @@ func TestFacadeSwarm(t *testing.T) {
 	}
 	if PaperConfig().Peers != 50 {
 		t.Error("paper config wrong")
+	}
+}
+
+func TestFacadeGenericSweep(t *testing.T) {
+	if len(Domains()) < 2 {
+		t.Fatalf("Domains() = %d domains, want at least swarming and gossip", len(Domains()))
+	}
+	d, err := DomainByName("gossip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{Peers: 6, Rounds: 20, PerfRuns: 1, EncounterRuns: 1, Opponents: 2, Seed: 3}
+	pts := d.Space().Enumerate()[:8]
+	dir := t.TempDir()
+	scores, err := RunSweepContext(context.Background(), d, pts, cfg, SweepOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range d.Measures() {
+		if len(scores.Measure(m)) != len(pts) {
+			t.Fatalf("measure %s has %d values, want %d", m, len(scores.Measure(m)), len(pts))
+		}
+	}
+	reloaded, err := LoadSweep(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scores, reloaded) {
+		t.Fatal("LoadSweep does not match the live sweep")
 	}
 }

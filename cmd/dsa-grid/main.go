@@ -1,0 +1,239 @@
+// Command dsa-grid runs a Design Space Analysis sweep as a distributed
+// grid: one coordinator process owns the task list and checkpoint, any
+// number of worker processes (on any machines that can reach it) lease
+// tasks over HTTP, compute them, and upload results. Workers can join,
+// leave, or be killed at any time — a dead worker's leases expire and
+// its tasks are re-run — and the assembled scores are byte-identical
+// to a single-process dsa-sweep run of the same spec.
+//
+// Usage:
+//
+//	dsa-grid serve -addr :8437 [-domain swarming|gossip] [-preset quick|paper]
+//	               [-stride N] [-opponents N] [-peers N] [-rounds N]
+//	               [-perfruns N] [-encruns N] [-seed N] [-chunk N]
+//	               [-checkpoint-dir DIR] [-lease-ttl 30s]
+//	               [-out results.csv] [-once]
+//
+//	dsa-grid work  -coordinator http://host:8437 [-job ID] [-name ID]
+//	               [-workers N] [-tasks-per-lease N]
+//
+// serve registers the sweep (the sweep-shaping flags mirror dsa-sweep)
+// and serves the /v1 API: job listing, task leases, result ingest, and
+// live progress (GET /v1/jobs/{id}/progress, ?stream=1 for NDJSON).
+// With -checkpoint-dir the job journals into DIR/<job-id> in the
+// standard checkpoint format, so a restarted coordinator resumes where
+// it left off and dsa-report can read the directory directly. -once
+// exits (writing -out) as soon as the job completes, which is what
+// scripts and CI want; without it the coordinator keeps serving the
+// results API.
+//
+// work runs one worker until the job completes. -workers controls how
+// many tasks it computes in parallel (default: all cores). Point a
+// report at the grid with:
+//
+//	dsa-report -domain D -coordinator http://host:8437 top
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dsa"
+	"repro/internal/exp"
+	"repro/internal/grid"
+	"repro/internal/job"
+	"repro/internal/pra"
+
+	// Register the domains this tool can sweep.
+	_ "repro/internal/gossip"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsa-grid: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: dsa-grid serve|work [flags] (run with -h for details)")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	switch os.Args[1] {
+	case "serve":
+		runServe(ctx, os.Args[2:])
+	case "work":
+		runWork(ctx, os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q (want serve or work)", os.Args[1])
+	}
+}
+
+func runServe(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", ":8437", "HTTP listen address")
+		domain    = fs.String("domain", pra.DomainName, "design space to sweep (swarming or gossip)")
+		preset    = fs.String("preset", "quick", "quick or paper")
+		stride    = fs.Int("stride", 1, "evaluate every Nth point of the space")
+		opponents = fs.Int("opponents", -1, "opponent panel size (0 = full round-robin)")
+		peers     = fs.Int("peers", 0, "population size override")
+		rounds    = fs.Int("rounds", 0, "rounds per run override")
+		perfRuns  = fs.Int("perfruns", 0, "performance runs override")
+		encRuns   = fs.Int("encruns", 0, "encounter runs override")
+		seed      = fs.Int64("seed", 1, "master seed")
+		chunk     = fs.Int("chunk", 0, "points per task (0 = default)")
+		ckptDir   = fs.String("checkpoint-dir", "", "journal results under DIR/<job-id>; survives coordinator restarts")
+		leaseTTL  = fs.Duration("lease-ttl", grid.DefaultLeaseTTL, "task lease duration; unheartbeated leases expire and re-queue")
+		out       = fs.String("out", "", "write the assembled CSV here when the job completes")
+		once      = fs.Bool("once", false, "exit once the job completes instead of keeping the results API up")
+		linger    = fs.Duration("linger", 2*time.Second, "with -once, keep the API up this long after completion so workers see the final state")
+	)
+	fs.Parse(args)
+	if *stride < 1 {
+		log.Fatal("stride must be >= 1")
+	}
+	if *chunk < 0 {
+		log.Fatalf("chunk must be >= 0, got %d", *chunk)
+	}
+	if *leaseTTL <= 0 {
+		log.Fatal("lease-ttl must be positive")
+	}
+	d, err := dsa.Get(*domain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := d.DefaultConfig(*preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Shared flag→spec mapping with dsa-sweep: identical flags must
+	// mean identical specs or the byte-identical guarantee (and the
+	// smoke test's cmp) breaks.
+	cfg = dsa.ApplyOverrides(cfg, *seed, *opponents, *peers, *rounds, *perfRuns, *encRuns)
+	points := dsa.StridePoints(d, *stride)
+
+	coord := grid.NewCoordinator(grid.CoordinatorOptions{
+		Dir: *ckptDir, LeaseTTL: *leaseTTL, Logf: log.Printf, CSV: exp.WriteDomainCSV,
+	})
+	defer coord.Close()
+	id, err := coord.AddJob(job.Spec{Domain: d, Points: points, Cfg: cfg, Chunk: *chunk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("job %s: %d %s points (%s preset); workers join with: dsa-grid work -coordinator http://<host>%s",
+		id, len(points), d.Name(), *preset, *addr)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go reportProgress(ctx, coord, id)
+	fatal := make(chan error, 1)
+	go func() {
+		scores, err := coord.WaitComplete(ctx, id)
+		if err != nil {
+			if ctx.Err() == nil {
+				// Not a shutdown: the job finished but could not be
+				// assembled (e.g. a Domain.Assemble failure). Surface
+				// it and bring the coordinator down instead of hanging
+				// -once forever.
+				fatal <- err
+				cancel()
+			}
+			return
+		}
+		if *out != "" {
+			if err := writeCSV(*out, d, scores); err != nil {
+				log.Printf("write %s: %v", *out, err)
+			} else {
+				log.Printf("wrote %s (%d rows)", *out, len(scores.Points))
+			}
+		}
+		if *once {
+			// Give the workers' final lease polls a chance to see the
+			// Complete flag before the listener goes away.
+			select {
+			case <-time.After(*linger):
+			case <-ctx.Done():
+			}
+			cancel()
+		}
+	}()
+	if err := coord.Serve(ctx, *addr, func(bound string) { log.Printf("serving /v1 on %s", bound) }); err != nil {
+		log.Fatal(err)
+	}
+	select {
+	case err := <-fatal:
+		log.Fatal(err)
+	default:
+	}
+}
+
+// reportProgress logs one line whenever the done count moves, at most
+// every 2 seconds.
+func reportProgress(ctx context.Context, coord *grid.Coordinator, id string) {
+	lastDone := -1
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		snap, err := coord.Progress(id)
+		if err != nil {
+			return
+		}
+		if snap.Done != lastDone {
+			lastDone = snap.Done
+			log.Printf("progress: %d/%d tasks done, %d leased, %d pending, %d workers, %d requeues",
+				snap.Done, snap.Total, snap.Leased, snap.Pending, snap.Workers, snap.Requeues)
+		}
+		if snap.Complete {
+			return
+		}
+	}
+}
+
+// writeCSV matches dsa-sweep's output exactly (exp.WriteDomainCSV is
+// the shared layout policy), so grid and single-process sweeps emit
+// interchangeable files.
+func writeCSV(path string, d dsa.Domain, scores *dsa.Scores) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := exp.WriteDomainCSV(f, d, scores); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runWork(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("work", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL (e.g. http://host:8437)")
+		jobID       = fs.String("job", "", "job to work on (default: the first incomplete job)")
+		name        = fs.String("name", "", "worker identity (default: host-pid-N)")
+		workers     = fs.Int("workers", 0, "parallel tasks (0 = all cores)")
+		perLease    = fs.Int("tasks-per-lease", 0, "tasks per lease call (0 = coordinator's cap)")
+	)
+	fs.Parse(args)
+	if *coordinator == "" {
+		log.Fatal("work needs -coordinator URL")
+	}
+	err := grid.Work(ctx, *coordinator, *jobID, grid.WorkerOptions{
+		Name: *name, Workers: *workers, TasksPerLease: *perLease, Logf: log.Printf,
+	})
+	switch {
+	case err == nil:
+		log.Printf("job complete")
+	case ctx.Err() != nil:
+		log.Fatal("interrupted; held leases will expire and re-queue")
+	default:
+		log.Fatal(err)
+	}
+}

@@ -10,8 +10,9 @@
 //	dsa-report -in results.csv fig2|fig3|fig4|fig5|fig6|fig7|fig8|table3|top
 //	dsa-report -checkpoint DIR fig2|...|top
 //	dsa-report -checkpoint DIR -out results.csv merge
+//	dsa-report -coordinator http://host:8437 [-job ID] fig2|...|top|merge
 //	dsa-report [-preset quick] [-stride N] validate|churn
-//	dsa-report -domain gossip [-in results.csv | -checkpoint DIR] top|scatter
+//	dsa-report -domain gossip [-in results.csv | -checkpoint DIR | -coordinator URL] top|scatter
 //	dsa-report -domain gossip -checkpoint DIR -out results.csv merge
 //
 // -checkpoint reads the scores straight out of a dsa-sweep checkpoint
@@ -20,9 +21,16 @@
 // the domain's CSV for downstream tooling. To merge shards that ran on
 // separate machines, copy every shard dir's manifest-*.jsonl and
 // task-*.json next to one spec.json first.
+//
+// -coordinator fetches the assembled scores live from a dsa-grid
+// coordinator's results API instead of any local file — no copying at
+// all. -job selects the job; by default the first job of the report's
+// -domain is used. An incomplete job is reported as an error with its
+// progress.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +40,7 @@ import (
 	"repro/internal/design"
 	"repro/internal/dsa"
 	"repro/internal/exp"
+	"repro/internal/grid"
 	"repro/internal/job"
 	"repro/internal/pra"
 	"repro/internal/report"
@@ -48,6 +57,8 @@ func main() {
 		domain = flag.String("domain", pra.DomainName, "design space the input covers (swarming or gossip)")
 		in     = flag.String("in", "results.csv", "CSV produced by dsa-sweep")
 		ckpt   = flag.String("checkpoint", "", "dsa-sweep checkpoint dir to read instead of -in")
+		coord  = flag.String("coordinator", "", "dsa-grid coordinator URL to fetch scores from instead of -in")
+		jobID  = flag.String("job", "", "coordinator job ID (default: the first job of -domain)")
 		out    = flag.String("out", "results.csv", "output CSV path (merge)")
 		preset = flag.String("preset", "quick", "quick or paper (validate/churn)")
 		stride = flag.Int("stride", 30, "protocol stride for validate/churn")
@@ -64,7 +75,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runGeneric(d, what, *in, *ckpt, *out)
+		runGeneric(d, what, *in, *ckpt, *coord, *jobID, *out)
 		return
 	}
 
@@ -76,10 +87,18 @@ func main() {
 
 	var res *exp.SweepResult
 	var err error
-	if *ckpt != "" {
+	if *coord != "" {
+		var s *dsa.Scores
+		if s, err = fetchGrid(*coord, *jobID, pra.Domain()); err == nil {
+			var typed *pra.Scores
+			if typed, err = pra.ScoresFromGeneric(s); err == nil {
+				res = &exp.SweepResult{Protocols: typed.Protocols, Scores: typed}
+			}
+		}
+	} else if *ckpt != "" {
 		res, err = exp.LoadCheckpoint(*ckpt)
 	} else if what == "merge" {
-		err = fmt.Errorf("merge needs -checkpoint")
+		err = fmt.Errorf("merge needs -checkpoint or -coordinator")
 	} else {
 		res, err = load(*in)
 	}
@@ -99,7 +118,11 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("merged %s into %s (%d rows)", *ckpt, *out, len(res.Protocols))
+		src := *ckpt
+		if *coord != "" {
+			src = *coord
+		}
+		log.Printf("merged %s into %s (%d rows)", src, *out, len(res.Protocols))
 	case "fig2":
 		xs, ys := res.Fig2()
 		fmt.Fprintf(w, "Figure 2: Robustness vs Performance, %d protocols\n", len(xs))
@@ -263,21 +286,62 @@ func min(a, b int) int {
 	return b
 }
 
-// runGeneric renders the domain-agnostic reports: merge (checkpoint →
-// CSV), top (best points per measure) and scatter (second measure vs
-// first). It never touches any file-swarming code path — every fact it
-// needs comes through the dsa.Domain interface.
-func runGeneric(d dsa.Domain, what, in, ckpt, out string) {
+// fetchGrid pulls assembled scores from a dsa-grid coordinator's
+// results API. With an empty jobID the first job of the report's
+// domain is used.
+func fetchGrid(baseURL, jobID string, d dsa.Domain) (*dsa.Scores, error) {
+	ctx := context.Background()
+	if jobID == "" {
+		jobs, err := grid.ListJobs(ctx, nil, baseURL)
+		if err != nil {
+			return nil, err
+		}
+		// Prefer a complete job of the domain — a report wants scores
+		// that exist — falling back to the first (still-running) one,
+		// whose fetch will explain the 'incomplete' state.
+		for _, j := range jobs {
+			if j.Domain != d.Name() {
+				continue
+			}
+			if jobID == "" {
+				jobID = j.ID
+			}
+			if j.Complete {
+				jobID = j.ID
+				break
+			}
+		}
+		if jobID == "" {
+			return nil, fmt.Errorf("coordinator %s has no %q job (pass -job to pick one)", baseURL, d.Name())
+		}
+	}
+	s, err := grid.FetchScores(ctx, nil, baseURL, jobID)
+	if err != nil {
+		return nil, err
+	}
+	if s.Domain != d.Name() {
+		return nil, fmt.Errorf("coordinator job %s holds a %q sweep, not %q", jobID, s.Domain, d.Name())
+	}
+	return s, nil
+}
+
+// runGeneric renders the domain-agnostic reports: merge (checkpoint or
+// coordinator → CSV), top (best points per measure) and scatter
+// (second measure vs first). It never touches any file-swarming code
+// path — every fact it needs comes through the dsa.Domain interface.
+func runGeneric(d dsa.Domain, what, in, ckpt, coord, jobID, out string) {
 	var s *dsa.Scores
 	var err error
 	switch {
+	case coord != "":
+		s, err = fetchGrid(coord, jobID, d)
 	case ckpt != "":
 		s, err = job.Load(ckpt)
 		if err == nil && s.Domain != d.Name() {
 			err = fmt.Errorf("checkpoint %s holds a %q sweep, not %q", ckpt, s.Domain, d.Name())
 		}
 	case what == "merge":
-		err = fmt.Errorf("merge needs -checkpoint")
+		err = fmt.Errorf("merge needs -checkpoint or -coordinator")
 	default:
 		var f *os.File
 		if f, err = os.Open(in); err == nil {
@@ -300,7 +364,11 @@ func runGeneric(d dsa.Domain, what, in, ckpt, out string) {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("merged %s into %s (%d rows)", ckpt, out, len(s.Points))
+		src := ckpt
+		if coord != "" {
+			src = coord
+		}
+		log.Printf("merged %s into %s (%d rows)", src, out, len(s.Points))
 	case "top":
 		for _, m := range d.Measures() {
 			vals := s.Measure(m)

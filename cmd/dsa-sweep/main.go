@@ -85,6 +85,24 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate every flag up front, before any sweep state exists: a
+	// bad invocation must exit non-zero with a one-line error, never
+	// panic later or silently sweep the wrong shard.
+	if *stride < 1 {
+		log.Fatal("stride must be >= 1")
+	}
+	if *chunk < 0 {
+		log.Fatalf("chunk must be >= 0 (0 = default), got %d", *chunk)
+	}
+	if *shards < 1 {
+		log.Fatalf("shards must be >= 1, got %d", *shards)
+	}
+	if *shardIdx < 0 || *shardIdx >= *shards {
+		log.Fatalf("shard-index must be in [0,%d) for -shards %d, got %d", *shards, *shards, *shardIdx)
+	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume needs -checkpoint-dir")
+	}
 	d, err := dsa.Get(*domain)
 	if err != nil {
 		log.Fatal(err)
@@ -93,31 +111,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg.Seed = *seed
-	if *opponents >= 0 {
-		cfg.Opponents = *opponents
-	}
-	if *peers > 0 {
-		cfg.Peers = *peers
-	}
-	if *rounds > 0 {
-		cfg.Rounds = *rounds
-	}
-	if *perfRuns > 0 {
-		cfg.PerfRuns = *perfRuns
-	}
-	if *encRuns > 0 {
-		cfg.EncounterRuns = *encRuns
-	}
-	if *stride < 1 {
-		log.Fatal("stride must be >= 1")
-	}
-	if *shards < 1 || *shardIdx < 0 || *shardIdx >= *shards {
-		log.Fatalf("need 1 <= shards and 0 <= shard-index < shards, got %d/%d", *shardIdx, *shards)
-	}
-	if *resume && *ckptDir == "" {
-		log.Fatal("-resume needs -checkpoint-dir")
-	}
+	cfg = dsa.ApplyOverrides(cfg, *seed, *opponents, *peers, *rounds, *perfRuns, *encRuns)
 	if *shards > 1 && *ckptDir == "" {
 		// Without a journal a shard's results evaporate on exit and
 		// there is nothing to merge.
@@ -134,11 +128,7 @@ func main() {
 		}
 	}
 
-	all := d.Space().Enumerate()
-	var points []core.Point
-	for i := 0; i < len(all); i += *stride {
-		points = append(points, all[i])
-	}
+	points := dsa.StridePoints(d, *stride)
 	log.Printf("sweeping %d %s points (%s preset, %d peers, %d rounds, %d opponents, shard %d/%d)",
 		len(points), d.Name(), *preset, cfg.Peers, cfg.Rounds, cfg.Opponents, *shardIdx, *shards)
 
@@ -193,19 +183,12 @@ func main() {
 	}
 }
 
-// writeCSV picks the output format: the swarming domain keeps its
-// original dsa-sweep CSV layout (the figure and table extractors of
-// dsa-report parse it), every other domain uses the generic layout.
+// writeCSV picks the output format through the shared layout policy:
+// the swarming domain keeps its original dsa-sweep CSV layout (the
+// figure and table extractors of dsa-report parse it), every other
+// domain uses the generic layout.
 func writeCSV(f *os.File, d dsa.Domain, scores *dsa.Scores) error {
-	if d.Name() != pra.DomainName {
-		return dsa.WriteCSV(f, d, scores)
-	}
-	typed, err := pra.ScoresFromGeneric(scores)
-	if err != nil {
-		return err
-	}
-	res := &exp.SweepResult{Protocols: typed.Protocols, Scores: typed}
-	return res.WriteCSV(f)
+	return exp.WriteDomainCSV(f, d, scores)
 }
 
 // progressLogger returns a job progress callback that logs at most one

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -18,6 +19,29 @@ import (
 // id is the domain's stable point ID, point the human label; dimension
 // columns carry the actualized value strings so the file is greppable
 // and regression-friendly without the codec.
+//
+// Score cells are specified, not incidental: finite values encode as
+// fixed six-decimal notation, and non-finite values — which a domain
+// may legitimately produce (a diverging measure, a 0/0 ratio) —
+// encode deterministically as the exact tokens "NaN", "+Inf" and
+// "-Inf", which ReadCSV parses back. A header-only file (an empty
+// evaluated panel) is a valid round trip, not an error. Embedded
+// commas, quotes and newlines in labels or dimension values are the
+// csv package's quoting problem, covered by the codec's property test.
+
+// formatScore renders one score cell: six decimals for finite values,
+// canonical tokens for the non-finite ones.
+func formatScore(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'f', 6, 64)
+}
 
 // WriteCSV serialises assembled scores in the generic domain CSV
 // format.
@@ -52,7 +76,7 @@ func WriteCSV(w io.Writer, d Domain, s *Scores) error {
 			row = append(row, space.Dimensions[dim].Values[v])
 		}
 		for _, m := range d.Measures() {
-			row = append(row, fmt.Sprintf("%.6f", s.Raw[m][i]), fmt.Sprintf("%.6f", s.Values[m][i]))
+			row = append(row, formatScore(s.Raw[m][i]), formatScore(s.Values[m][i]))
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -70,8 +94,8 @@ func ReadCSV(r io.Reader, d Domain) (*Scores, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(rows) < 2 {
-		return nil, fmt.Errorf("dsa: CSV has no data rows")
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dsa: CSV has no header row")
 	}
 	col := map[string]int{}
 	for i, h := range rows[0] {
@@ -93,6 +117,13 @@ func ReadCSV(r io.Reader, d Domain) (*Scores, error) {
 		Domain: d.Name(),
 		Raw:    map[string][]float64{},
 		Values: map[string][]float64{},
+	}
+	// Every measure is present even for a header-only file, so an
+	// empty panel round-trips and Measure() never distinguishes
+	// "no rows" from "unknown measure" by accident.
+	for _, m := range d.Measures() {
+		s.Raw[m] = []float64{}
+		s.Values[m] = []float64{}
 	}
 	for rowIdx, row := range rows[1:] {
 		if got := row[col["domain"]]; got != d.Name() {

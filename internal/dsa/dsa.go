@@ -65,6 +65,43 @@ func (c Config) Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ApplyOverrides returns cfg with the standard sweep overrides
+// applied: peers/rounds/perfRuns/encRuns <= 0 and opponents < 0 keep
+// cfg's setting (opponents 0 is meaningful: full round-robin). The
+// sweep CLIs (dsa-sweep, dsa-grid serve) share this one mapping from
+// flags to config, so identical flags always mean identical specs —
+// the grid's byte-identical-to-local guarantee depends on that.
+func ApplyOverrides(cfg Config, seed int64, opponents, peers, rounds, perfRuns, encRuns int) Config {
+	cfg.Seed = seed
+	if opponents >= 0 {
+		cfg.Opponents = opponents
+	}
+	if peers > 0 {
+		cfg.Peers = peers
+	}
+	if rounds > 0 {
+		cfg.Rounds = rounds
+	}
+	if perfRuns > 0 {
+		cfg.PerfRuns = perfRuns
+	}
+	if encRuns > 0 {
+		cfg.EncounterRuns = encRuns
+	}
+	return cfg
+}
+
+// StridePoints enumerates every stride-th point of the domain's space
+// (stride 1 = the whole space).
+func StridePoints(d Domain, stride int) []core.Point {
+	all := d.Space().Enumerate()
+	var out []core.Point
+	for i := 0; i < len(all); i += stride {
+		out = append(out, all[i])
+	}
+	return out
+}
+
 // Validate checks the scale knobs shared by every domain.
 func (c Config) Validate() error {
 	if c.Peers < 2 {

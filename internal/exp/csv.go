@@ -7,8 +7,28 @@ import (
 	"strconv"
 
 	"repro/internal/design"
+	"repro/internal/dsa"
 	"repro/internal/pra"
 )
+
+// WriteDomainCSV writes assembled generic scores in the domain's
+// canonical CSV layout: the swarming domain keeps the original
+// dsa-sweep column set (ReadCSV and the figure/table extractors parse
+// it), every other domain uses the generic dsa layout. Every tool —
+// dsa-sweep, dsa-grid, the grid results API — goes through this one
+// function, so a domain's CSV is interchangeable regardless of which
+// engine produced it.
+func WriteDomainCSV(w io.Writer, d dsa.Domain, s *dsa.Scores) error {
+	if d.Name() != pra.DomainName {
+		return dsa.WriteCSV(w, d, s)
+	}
+	typed, err := pra.ScoresFromGeneric(s)
+	if err != nil {
+		return err
+	}
+	res := &SweepResult{Protocols: typed.Protocols, Scores: typed}
+	return res.WriteCSV(w)
+}
 
 // csvHeader is the column layout shared by WriteCSV and ReadCSV (and
 // therefore by the dsa-sweep and dsa-report tools).

@@ -1,0 +1,699 @@
+package grid
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dsa"
+	"repro/internal/job"
+)
+
+// Defaults for CoordinatorOptions zero values.
+const (
+	DefaultLeaseTTL = 30 * time.Second
+	DefaultMaxLease = 4
+)
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// Dir is the checkpoint root; each job journals into Dir/<job-id>
+	// in the internal/job checkpoint format, so a restarted
+	// coordinator resumes where it left off and job.Load/dsa-report
+	// read the directory directly. "" keeps results in memory only.
+	Dir string
+	// LeaseTTL is how long a lease lives without a heartbeat before
+	// its task is re-queued. 0 = DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// MaxLease caps tasks granted per lease call. 0 = DefaultMaxLease.
+	MaxLease int
+	// Logf, if non-nil, receives coordinator event logs.
+	Logf func(format string, args ...any)
+	// CSV renders assembled scores for the results endpoint's
+	// ?format=csv. nil = the generic dsa.WriteCSV layout; callers that
+	// want domain-bespoke layouts (exp.WriteDomainCSV keeps swarming
+	// CSVs interchangeable with dsa-sweep output) inject them here —
+	// the grid itself stays domain-agnostic.
+	CSV func(w io.Writer, d dsa.Domain, s *dsa.Scores) error
+}
+
+func (o CoordinatorOptions) leaseTTL() time.Duration {
+	if o.LeaseTTL > 0 {
+		return o.LeaseTTL
+	}
+	return DefaultLeaseTTL
+}
+
+func (o CoordinatorOptions) maxLease() int {
+	if o.MaxLease > 0 {
+		return o.MaxLease
+	}
+	return DefaultMaxLease
+}
+
+// Coordinator owns grid jobs: it serves leases, ingests results into
+// the checkpoint format, and exposes the live JSON API. Create one
+// with NewCoordinator, register sweeps with AddJob (or let clients
+// POST them), and mount Handler on an HTTP server (or call Serve).
+type Coordinator struct {
+	opts CoordinatorOptions
+	now  func() time.Time // injectable clock for tests
+
+	mu   sync.Mutex
+	jobs map[string]*gridJob
+}
+
+type taskStatus int
+
+const (
+	taskPending taskStatus = iota
+	taskLeased
+	taskDone
+)
+
+type taskState struct {
+	task      job.Task
+	status    taskStatus
+	worker    string
+	deadline  time.Time
+	recording bool // an Ingest is journalling this task outside the lock
+}
+
+type gridJob struct {
+	id        string
+	spec      job.Spec
+	specRaw   json.RawMessage
+	order     []string // task IDs in canonical enumeration order
+	tasks     map[string]*taskState
+	results   map[string][]float64
+	cp        *job.Checkpoint // nil without a checkpoint dir
+	done      int
+	requeues  int
+	scores    *dsa.Scores // assembled once complete
+	scoresErr error
+	changed   chan struct{} // closed and replaced on every state change
+}
+
+// NewCoordinator returns an empty coordinator.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	return &Coordinator{opts: opts, now: time.Now, jobs: map[string]*gridJob{}}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// jobID derives a stable identifier from the spec payload, so the same
+// sweep always maps to the same job (idempotent creation) and a
+// restarted coordinator reopens the same checkpoint subdirectory.
+func jobID(domain string, specRaw []byte) string {
+	h := fnv.New64a()
+	h.Write(specRaw)
+	return fmt.Sprintf("%s-%012x", domain, h.Sum64()&0xffffffffffff)
+}
+
+// AddJob registers a sweep. Adding a spec that is already registered
+// returns the existing job's ID. With a checkpoint dir configured,
+// completed tasks are restored from disk before any lease is granted.
+func (c *Coordinator) AddJob(spec job.Spec) (string, error) {
+	if err := spec.Cfg.Validate(); err != nil {
+		return "", err
+	}
+	if spec.Points == nil {
+		spec.Points = spec.Domain.Space().Enumerate()
+	}
+	specRaw, err := job.EncodeSpec(spec)
+	if err != nil {
+		return "", err
+	}
+	id := jobID(spec.Domain.Name(), specRaw)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.jobs[id]; ok {
+		return id, nil
+	}
+	j := &gridJob{
+		id:      id,
+		spec:    spec,
+		specRaw: specRaw,
+		tasks:   map[string]*taskState{},
+		results: map[string][]float64{},
+		changed: make(chan struct{}),
+	}
+	for _, t := range spec.Tasks() {
+		j.order = append(j.order, t.ID())
+		j.tasks[t.ID()] = &taskState{task: t}
+	}
+	if c.opts.Dir != "" {
+		cp, err := job.OpenCheckpoint(filepath.Join(c.opts.Dir, id), spec)
+		if err != nil {
+			return "", err
+		}
+		j.cp = cp
+		for tid, vals := range cp.Completed() {
+			st, ok := j.tasks[tid]
+			if !ok || st.status == taskDone {
+				continue
+			}
+			st.status = taskDone
+			j.results[tid] = vals
+			j.done++
+		}
+	}
+	c.finishIfCompleteLocked(j)
+	c.jobs[id] = j
+	c.logf("grid: job %s registered: %d tasks (%d restored from checkpoint)", id, len(j.order), j.done)
+	return id, nil
+}
+
+// Close releases every job's checkpoint handle.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, j := range c.jobs {
+		if j.cp != nil {
+			if err := j.cp.Close(); err != nil && first == nil {
+				first = err
+			}
+			j.cp = nil
+		}
+	}
+	return first
+}
+
+var errUnknownJob = errors.New("grid: unknown job")
+
+func (c *Coordinator) getJob(id string) (*gridJob, error) {
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", errUnknownJob, id)
+	}
+	return j, nil
+}
+
+// expireLocked requeues every lease whose deadline has passed. Expiry
+// is lazy: it runs at the top of every API call that looks at task
+// state, which is the only time staleness could matter.
+func (c *Coordinator) expireLocked(j *gridJob) {
+	now := c.now()
+	expired := 0
+	for _, st := range j.tasks {
+		if st.status == taskLeased && st.deadline.Before(now) {
+			st.status = taskPending
+			st.worker = ""
+			j.requeues++
+			expired++
+		}
+	}
+	if expired > 0 {
+		c.logf("grid: job %s: %d leases expired, tasks re-queued", j.id, expired)
+		c.broadcastLocked(j)
+	}
+}
+
+func (c *Coordinator) broadcastLocked(j *gridJob) {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// finishIfCompleteLocked assembles the scores once the last task is
+// done. Assembly runs exactly once; its result (or error) is cached.
+func (c *Coordinator) finishIfCompleteLocked(j *gridJob) {
+	if j.done < len(j.order) || j.scores != nil || j.scoresErr != nil {
+		return
+	}
+	j.scores, j.scoresErr = j.spec.AssembleScores(j.results)
+	if j.scoresErr != nil {
+		c.logf("grid: job %s: assembly failed: %v", j.id, j.scoresErr)
+	} else {
+		c.logf("grid: job %s complete: %d tasks, %d requeues", j.id, len(j.order), j.requeues)
+	}
+	c.broadcastLocked(j)
+}
+
+// Lease grants up to max pending tasks to worker.
+func (c *Coordinator) Lease(id, worker string, max int) (LeaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, err := c.getJob(id)
+	if err != nil {
+		return LeaseResponse{}, err
+	}
+	c.expireLocked(j)
+	if max <= 0 || max > c.opts.maxLease() {
+		max = c.opts.maxLease()
+	}
+	ttl := c.opts.leaseTTL()
+	deadline := c.now().Add(ttl)
+	var resp LeaseResponse
+	for _, tid := range j.order {
+		if len(resp.Tasks) == max {
+			break
+		}
+		st := j.tasks[tid]
+		if st.status != taskPending {
+			continue
+		}
+		st.status = taskLeased
+		st.worker = worker
+		st.deadline = deadline
+		resp.Tasks = append(resp.Tasks, LeaseTask{
+			Task: tid, Measure: st.task.Measure, Lo: st.task.Lo, Hi: st.task.Hi,
+			TTLMS: ttl.Milliseconds(),
+		})
+	}
+	if len(resp.Tasks) > 0 {
+		c.broadcastLocked(j)
+	}
+	resp.Complete = j.done == len(j.order)
+	return resp, nil
+}
+
+// Heartbeat extends worker's leases and reports the ones it no longer
+// holds.
+func (c *Coordinator) Heartbeat(id string, req HeartbeatRequest) (HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, err := c.getJob(id)
+	if err != nil {
+		return HeartbeatResponse{}, err
+	}
+	c.expireLocked(j)
+	deadline := c.now().Add(c.opts.leaseTTL())
+	var resp HeartbeatResponse
+	for _, tid := range req.Tasks {
+		st, ok := j.tasks[tid]
+		if ok && st.status == taskLeased && st.worker == req.Worker {
+			st.deadline = deadline
+			resp.Renewed = append(resp.Renewed, tid)
+		} else {
+			resp.Lost = append(resp.Lost, tid)
+		}
+	}
+	return resp, nil
+}
+
+// Ingest records one uploaded result. It is idempotent: a duplicate of
+// a done task is acknowledged and dropped (task determinism makes the
+// values equivalent), and an upload from a worker whose lease expired
+// is still accepted if it arrives first. The checkpoint write happens
+// before the task is marked done, so an acknowledged result is always
+// durable — and it runs outside the coordinator lock, so leases,
+// heartbeats and progress are never stalled behind an fsync. A second
+// upload racing a journalling first one is told to move on without
+// waiting for durability; if the first write then fails, the task
+// simply re-queues and re-runs.
+func (c *Coordinator) Ingest(id string, up ResultUpload) (ResultAck, error) {
+	c.mu.Lock()
+	j, err := c.getJob(id)
+	if err != nil {
+		c.mu.Unlock()
+		return ResultAck{}, err
+	}
+	st, ok := j.tasks[up.Task]
+	if !ok {
+		c.mu.Unlock()
+		return ResultAck{}, fmt.Errorf("grid: job %s has no task %q", id, up.Task)
+	}
+	if len(up.Values) != st.task.Hi-st.task.Lo {
+		c.mu.Unlock()
+		return ResultAck{}, fmt.Errorf("grid: task %s upload has %d values, want %d",
+			up.Task, len(up.Values), st.task.Hi-st.task.Lo)
+	}
+	if st.status == taskDone || st.recording {
+		c.mu.Unlock()
+		return ResultAck{Accepted: true, Duplicate: true}, nil
+	}
+	st.recording = true
+	cp, task := j.cp, st.task
+	c.mu.Unlock()
+
+	// The journalling runs unlocked; recover any panic so a wedged
+	// write can never leak recording=true and permanently strand the
+	// task (the handler would otherwise swallow the panic).
+	recErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("grid: task %s: checkpoint write panicked: %v", task.ID(), r)
+			}
+		}()
+		if cp == nil {
+			return nil
+		}
+		return cp.Record(task, up.Values, time.Duration(up.ElapsedMS)*time.Millisecond)
+	}()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st.recording = false
+	if recErr != nil {
+		return ResultAck{}, recErr
+	}
+	st.status = taskDone
+	st.worker = ""
+	j.results[up.Task] = []float64(up.Values)
+	j.done++
+	c.finishIfCompleteLocked(j)
+	c.broadcastLocked(j)
+	return ResultAck{Accepted: true}, nil
+}
+
+// Progress returns a job's live snapshot.
+func (c *Coordinator) Progress(id string) (ProgressSnapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, err := c.getJob(id)
+	if err != nil {
+		return ProgressSnapshot{}, err
+	}
+	c.expireLocked(j)
+	return c.snapshotLocked(j), nil
+}
+
+func (c *Coordinator) snapshotLocked(j *gridJob) ProgressSnapshot {
+	snap := ProgressSnapshot{JobID: j.id, Total: len(j.order), Done: j.done, Requeues: j.requeues}
+	workers := map[string]bool{}
+	for _, st := range j.tasks {
+		switch st.status {
+		case taskLeased:
+			snap.Leased++
+			workers[st.worker] = true
+		case taskPending:
+			snap.Pending++
+		}
+	}
+	snap.Workers = len(workers)
+	snap.Complete = j.done == snap.Total
+	return snap
+}
+
+// Scores returns a completed job's assembled scores; ok is false while
+// tasks are outstanding.
+func (c *Coordinator) Scores(id string) (s *dsa.Scores, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, err := c.getJob(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if j.done < len(j.order) {
+		return nil, false, nil
+	}
+	return j.scores, true, j.scoresErr
+}
+
+// WaitComplete blocks until the job's last task is done (returning the
+// assembled scores) or ctx is cancelled.
+func (c *Coordinator) WaitComplete(ctx context.Context, id string) (*dsa.Scores, error) {
+	for {
+		c.mu.Lock()
+		j, err := c.getJob(id)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		if j.done == len(j.order) {
+			s, serr := j.scores, j.scoresErr
+			c.mu.Unlock()
+			return s, serr
+		}
+		changed := j.changed
+		c.mu.Unlock()
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Summaries lists every job, sorted by ID.
+func (c *Coordinator) Summaries() []JobSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]JobSummary, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		out = append(out, c.summaryLocked(j))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+func (c *Coordinator) summaryLocked(j *gridJob) JobSummary {
+	return JobSummary{
+		ID: j.id, Domain: j.spec.Domain.Name(),
+		TotalTasks: len(j.order), DoneTasks: j.done,
+		Complete: j.done == len(j.order),
+	}
+}
+
+// --- HTTP layer ---
+
+// Handler returns the /v1 API handler.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs", c.handleListJobs)
+	mux.HandleFunc("POST /v1/jobs", c.handleCreateJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleGetJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/jobs/{id}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/jobs/{id}/results", c.handleUpload)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", c.handleResults)
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", c.handleProgress)
+	return mux
+}
+
+// writeJSON marshals before touching the response, so an encoding
+// failure becomes a clean 500 instead of a truncated 200.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"grid: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, errUnknownJob) {
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(v); err != nil {
+		writeError(w, fmt.Errorf("grid: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, jobsResponse{Jobs: c.Summaries()})
+}
+
+func (c *Coordinator) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	var req CreateJobRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	spec, err := job.DecodeSpec(req.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	id, err := c.AddJob(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	c.mu.Lock()
+	summary := c.summaryLocked(c.jobs[id])
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, summary)
+}
+
+func (c *Coordinator) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, err := c.getJob(r.PathValue("id"))
+	if err != nil {
+		c.mu.Unlock()
+		writeError(w, err)
+		return
+	}
+	detail := JobDetail{JobSummary: c.summaryLocked(j), Spec: j.specRaw}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, detail)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	resp, err := c.Lease(r.PathValue("id"), req.Worker, req.MaxTasks)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	resp, err := c.Heartbeat(r.PathValue("id"), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var up ResultUpload
+	if !readBody(w, r, &up) {
+		return
+	}
+	ack, err := c.Ingest(r.PathValue("id"), up)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	scores, ok, err := c.Scores(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !ok {
+		snap, _ := c.Progress(id)
+		writeJSON(w, http.StatusConflict, struct {
+			errorBody
+			Progress ProgressSnapshot `json:"progress"`
+		}{errorBody{Error: fmt.Sprintf("grid: job %s incomplete: %d/%d tasks done", id, snap.Done, snap.Total)}, snap})
+		return
+	}
+	if r.URL.Query().Get("format") == "csv" {
+		c.mu.Lock()
+		d := c.jobs[id].spec.Domain
+		c.mu.Unlock()
+		writeCSV := c.opts.CSV
+		if writeCSV == nil {
+			writeCSV = dsa.WriteCSV
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		if err := writeCSV(w, d, scores); err != nil {
+			c.logf("grid: job %s: csv render: %v", id, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, scoresToWire(scores))
+}
+
+// handleProgress serves one snapshot, or — with ?stream=1 — newline-
+// delimited JSON snapshots on every state change (and at least once a
+// second, so lease expiries surface) until the job completes or the
+// client goes away.
+func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := c.Progress(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("stream") == "" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var last ProgressSnapshot
+	first := true
+	for {
+		if first || snap != last {
+			if err := enc.Encode(snap); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			last, first = snap, false
+		}
+		if snap.Complete {
+			return
+		}
+		c.mu.Lock()
+		j, err := c.getJob(id)
+		if err != nil {
+			c.mu.Unlock()
+			return
+		}
+		changed := j.changed
+		c.mu.Unlock()
+		select {
+		case <-changed:
+		case <-time.After(time.Second):
+		case <-r.Context().Done():
+			return
+		}
+		if snap, err = c.Progress(id); err != nil {
+			return
+		}
+	}
+}
+
+// Serve listens on addr and serves the API until ctx is cancelled.
+// onListen (if non-nil) receives the bound address before serving —
+// useful with ":0".
+func (c *Coordinator) Serve(ctx context.Context, addr string, onListen func(addr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr().String())
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	stopped := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(shutCtx)
+		case <-stopped:
+		}
+	}()
+	err = srv.Serve(ln)
+	close(stopped)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,297 @@
+// Package grid turns the sweep engine from a library into a deployable
+// service: an HTTP coordinator that owns a job's task list and
+// checkpoint, and thin workers that lease tasks, compute them with the
+// domain's ScoreSlice, and upload the values. The paper's headline
+// experiment cost ~25 cluster-hours; the grid is how that workload
+// spreads over machines without hand-partitioning -shards/-shard-index
+// up front and without losing a shard's share when its machine dies.
+//
+// The coordinator's unit of work is exactly internal/job's Task, and
+// each task moves through a small lease state machine:
+//
+//	pending ── lease ──▶ leased ── result upload ──▶ done
+//	   ▲                   │
+//	   └── deadline passed ┘  (requeue; counted, re-leased to anyone)
+//
+// A lease carries a deadline; workers extend it by heartbeating. A
+// worker that is SIGKILLed, partitioned or wedged simply stops
+// heartbeating, its leases expire, and the tasks are re-leased — no
+// worker registration, no failure detector beyond the deadline.
+//
+// Correctness under re-leases and duplicate uploads comes from the
+// determinism contract of dsa.Domain: a task's values are a pure
+// function of the spec and the task identity, so any two honest
+// computations of one task agree byte-for-byte. Result ingest is
+// therefore idempotent — the first upload wins, is journalled through
+// the internal/job checkpoint format (atomic result file + synced
+// manifest line), and later duplicates are acknowledged and dropped.
+// A grid checkpoint directory is interchangeable with a local one:
+// job.Load, dsa-report and a local -resume all read it.
+//
+// The wire API is JSON over HTTP, rooted at /v1:
+//
+//	GET  /v1/jobs                  — list jobs (summaries)
+//	POST /v1/jobs                  — create a job from an encoded spec
+//	GET  /v1/jobs/{id}             — job detail incl. the spec payload
+//	POST /v1/jobs/{id}/lease       — lease up to MaxTasks tasks
+//	POST /v1/jobs/{id}/heartbeat   — extend leases; learn which were lost
+//	POST /v1/jobs/{id}/results     — upload one task's values (idempotent)
+//	GET  /v1/jobs/{id}/results     — assembled scores (JSON or ?format=csv)
+//	GET  /v1/jobs/{id}/progress    — snapshot, or ?stream=1 for NDJSON
+//	                                 snapshots until the job completes
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dsa"
+)
+
+// JobSummary is one row of the jobs listing.
+type JobSummary struct {
+	ID         string `json:"id"`
+	Domain     string `json:"domain"`
+	TotalTasks int    `json:"total_tasks"`
+	DoneTasks  int    `json:"done_tasks"`
+	Complete   bool   `json:"complete"`
+}
+
+// JobDetail is a summary plus the spec payload (job.EncodeSpec bytes)
+// a worker needs to execute leases.
+type JobDetail struct {
+	JobSummary
+	Spec json.RawMessage `json:"spec"`
+}
+
+type jobsResponse struct {
+	Jobs []JobSummary `json:"jobs"`
+}
+
+// CreateJobRequest registers a sweep with the coordinator. Spec is a
+// job.EncodeSpec payload; job creation is idempotent — the job ID
+// derives from the spec bytes, so re-POSTing the same sweep returns
+// the existing job.
+type CreateJobRequest struct {
+	Spec json.RawMessage `json:"spec"`
+}
+
+// LeaseRequest asks for up to MaxTasks pending tasks on behalf of
+// Worker (an opaque identity used only to match heartbeats to leases).
+type LeaseRequest struct {
+	Worker   string `json:"worker"`
+	MaxTasks int    `json:"max_tasks"`
+}
+
+// LeaseTask is one leased task: the job.Task coordinates plus the
+// lease TTL the worker must heartbeat within.
+type LeaseTask struct {
+	Task    string `json:"task"`
+	Measure string `json:"measure"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+	TTLMS   int64  `json:"ttl_ms"`
+}
+
+// LeaseResponse carries the granted leases. Complete means every task
+// is done — workers should exit rather than poll again.
+type LeaseResponse struct {
+	Tasks    []LeaseTask `json:"tasks"`
+	Complete bool        `json:"complete"`
+}
+
+// HeartbeatRequest extends Worker's leases on Tasks.
+type HeartbeatRequest struct {
+	Worker string   `json:"worker"`
+	Tasks  []string `json:"tasks"`
+}
+
+// HeartbeatResponse reports which leases were renewed and which are
+// lost (expired and possibly re-leased, or already done) — the worker
+// should stop heartbeating lost tasks but may still upload a finished
+// result, which ingest handles idempotently.
+type HeartbeatResponse struct {
+	Renewed []string `json:"renewed"`
+	Lost    []string `json:"lost"`
+}
+
+// WireFloats is []float64 that survives JSON: non-finite values,
+// which encoding/json rejects but a domain may legitimately produce,
+// use the shared canonical tokens (see dsa.JSONFloats — the same
+// codec the checkpoint result files use, so grid and local runs agree
+// byte-for-byte on disk too).
+type WireFloats = dsa.JSONFloats
+
+// ResultUpload is one finished task's values.
+type ResultUpload struct {
+	Worker    string     `json:"worker"`
+	Task      string     `json:"task"`
+	Values    WireFloats `json:"values"`
+	ElapsedMS int64      `json:"elapsed_ms"`
+}
+
+// ScoresWire is dsa.Scores in grid wire form: the same shape, with
+// score vectors as WireFloats so non-finite values round-trip.
+type ScoresWire struct {
+	Domain string                `json:"domain"`
+	Points []core.Point          `json:"points"`
+	Raw    map[string]WireFloats `json:"raw"`
+	Values map[string]WireFloats `json:"values"`
+}
+
+func scoresToWire(s *dsa.Scores) ScoresWire {
+	w := ScoresWire{
+		Domain: s.Domain, Points: s.Points,
+		Raw:    make(map[string]WireFloats, len(s.Raw)),
+		Values: make(map[string]WireFloats, len(s.Values)),
+	}
+	for m, v := range s.Raw {
+		w.Raw[m] = WireFloats(v)
+	}
+	for m, v := range s.Values {
+		w.Values[m] = WireFloats(v)
+	}
+	return w
+}
+
+func (w ScoresWire) scores() *dsa.Scores {
+	s := &dsa.Scores{
+		Domain: w.Domain, Points: w.Points,
+		Raw:    make(map[string][]float64, len(w.Raw)),
+		Values: make(map[string][]float64, len(w.Values)),
+	}
+	for m, v := range w.Raw {
+		s.Raw[m] = []float64(v)
+	}
+	for m, v := range w.Values {
+		s.Values[m] = []float64(v)
+	}
+	return s
+}
+
+// ResultAck acknowledges an upload. Duplicate marks a task that was
+// already done (the upload was dropped; determinism makes it
+// equivalent).
+type ResultAck struct {
+	Accepted  bool `json:"accepted"`
+	Duplicate bool `json:"duplicate"`
+}
+
+// ProgressSnapshot is the live view of a job served by /progress and
+// pushed line-by-line on the streaming variant.
+type ProgressSnapshot struct {
+	JobID    string `json:"job_id"`
+	Total    int    `json:"total_tasks"`
+	Done     int    `json:"done_tasks"`
+	Leased   int    `json:"leased_tasks"`
+	Pending  int    `json:"pending_tasks"`
+	Requeues int    `json:"requeues"` // leases that expired back to pending
+	Workers  int    `json:"workers"`  // workers holding a live lease
+	Complete bool   `json:"complete"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// --- HTTP client helpers, shared by the worker, the facade and
+// dsa-report's -coordinator mode. ---
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, url, out)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, url, out)
+}
+
+func decodeResponse(resp *http.Response, url string, out any) error {
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("grid: read %s: %w", url, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("grid: %s: %s (HTTP %d)", url, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("grid: %s: HTTP %d", url, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("grid: decode %s: %w", url, err)
+	}
+	return nil
+}
+
+func apiURL(base string, parts ...string) string {
+	return strings.TrimSuffix(base, "/") + "/v1/" + strings.Join(parts, "/")
+}
+
+// ListJobs fetches the coordinator's job summaries. A nil client uses
+// http.DefaultClient.
+func ListJobs(ctx context.Context, client *http.Client, baseURL string) ([]JobSummary, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var resp jobsResponse
+	if err := getJSON(ctx, client, apiURL(baseURL, "jobs"), &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// GetJob fetches one job's detail, including its spec payload.
+func GetJob(ctx context.Context, client *http.Client, baseURL, jobID string) (JobDetail, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var d JobDetail
+	err := getJSON(ctx, client, apiURL(baseURL, "jobs", jobID), &d)
+	return d, err
+}
+
+// FetchScores downloads a completed job's assembled scores. An
+// incomplete job is an error (the coordinator answers 409 with its
+// progress).
+func FetchScores(ctx context.Context, client *http.Client, baseURL, jobID string) (*dsa.Scores, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var w ScoresWire
+	if err := getJSON(ctx, client, apiURL(baseURL, "jobs", jobID, "results"), &w); err != nil {
+		return nil, err
+	}
+	return w.scores(), nil
+}

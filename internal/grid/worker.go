@@ -1,0 +1,236 @@
+package grid
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/job"
+)
+
+// WorkerOptions configures a Work loop.
+type WorkerOptions struct {
+	// Name identifies this worker in leases and heartbeats. "" derives
+	// a unique host-pid-N identity, so several in-process workers never
+	// collide.
+	Name string
+	// Workers is the parallel task width per lease batch, passed to
+	// job.ExecTasks — the same bounded pool a local run uses. 0 =
+	// Cfg.Workers, then GOMAXPROCS.
+	Workers int
+	// TasksPerLease is how many tasks to request per lease call
+	// (capped by the coordinator). 0 accepts the coordinator's cap.
+	TasksPerLease int
+	// Poll is the idle wait when no task is available but the job is
+	// not complete (everything is leased to other workers). 0 = 500ms.
+	Poll time.Duration
+	// Client is the HTTP client; nil = http.DefaultClient.
+	Client *http.Client
+	// Logf, if non-nil, receives worker event logs.
+	Logf func(format string, args ...any)
+}
+
+var workerSeq atomic.Int64
+
+func (o WorkerOptions) name() string {
+	if o.Name != "" {
+		return o.Name
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d-%d", host, os.Getpid(), workerSeq.Add(1))
+}
+
+func (o WorkerOptions) poll() time.Duration {
+	if o.Poll > 0 {
+		return o.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+func (o WorkerOptions) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return http.DefaultClient
+}
+
+// Work runs a worker loop against the coordinator at baseURL: lease →
+// ScoreSlice (on the engine's bounded pool) → upload, heartbeating
+// held leases, until the job completes (nil), ctx is cancelled
+// (ctx.Err()), or the coordinator becomes unreachable. jobID "" picks
+// the coordinator's first incomplete job.
+//
+// A worker holds no durable state: killing it at any instant loses at
+// most its in-flight leases, which expire on the coordinator and are
+// re-run elsewhere.
+func Work(ctx context.Context, baseURL, jobID string, opts WorkerOptions) error {
+	name := opts.name()
+	client := opts.client()
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	jobID, spec, err := resolveJob(ctx, client, baseURL, jobID, opts.poll())
+	if err != nil {
+		return err
+	}
+	logf("worker %s: joined job %s (%s domain, %d points)", name, jobID, spec.Domain.Name(), len(spec.Points))
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease LeaseResponse
+		err := postJSON(ctx, client, apiURL(baseURL, "jobs", jobID, "lease"),
+			LeaseRequest{Worker: name, MaxTasks: opts.TasksPerLease}, &lease)
+		if err != nil {
+			return err
+		}
+		if len(lease.Tasks) == 0 {
+			if lease.Complete {
+				logf("worker %s: job %s complete", name, jobID)
+				return nil
+			}
+			// Everything pending is leased to other workers; wait for
+			// either completion or an expiry to free tasks up.
+			select {
+			case <-time.After(opts.poll()):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		if err := runLease(ctx, client, baseURL, jobID, name, spec, lease, opts, logf); err != nil {
+			return err
+		}
+	}
+}
+
+// runLease executes one lease batch: a heartbeat goroutine keeps the
+// outstanding leases alive while job.ExecTasks computes them and the
+// sink uploads each result as it lands.
+func runLease(ctx context.Context, client *http.Client, baseURL, jobID, name string, spec job.Spec, lease LeaseResponse, opts WorkerOptions, logf func(string, ...any)) error {
+	tasks := make([]job.Task, len(lease.Tasks))
+	ttl := DefaultLeaseTTL
+	held := make(map[string]bool, len(lease.Tasks))
+	for i, lt := range lease.Tasks {
+		tasks[i] = job.Task{Measure: lt.Measure, Lo: lt.Lo, Hi: lt.Hi}
+		held[lt.Task] = true
+		if ms := time.Duration(lt.TTLMS) * time.Millisecond; ms > 0 {
+			ttl = ms
+		}
+	}
+
+	var mu sync.Mutex
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		tick := time.NewTicker(max(ttl/3, 10*time.Millisecond))
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+			}
+			mu.Lock()
+			ids := make([]string, 0, len(held))
+			for id := range held {
+				ids = append(ids, id)
+			}
+			mu.Unlock()
+			if len(ids) == 0 {
+				return
+			}
+			var resp HeartbeatResponse
+			if err := postJSON(hbCtx, client, apiURL(baseURL, "jobs", jobID, "heartbeat"),
+				HeartbeatRequest{Worker: name, Tasks: ids}, &resp); err != nil {
+				continue // transient; the lease survives until its TTL
+			}
+			if len(resp.Lost) > 0 {
+				// Per the protocol, stop heartbeating lost leases; the
+				// finished values are still uploaded (idempotent) when
+				// their computation lands.
+				mu.Lock()
+				for _, id := range resp.Lost {
+					delete(held, id)
+				}
+				mu.Unlock()
+				logf("worker %s: %d leases lost (expired or done elsewhere)", name, len(resp.Lost))
+			}
+		}
+	}()
+	defer func() {
+		stopHB()
+		hbWG.Wait()
+	}()
+
+	return job.ExecTasks(ctx, spec, tasks, opts.Workers, func(t job.Task, values []float64, elapsed time.Duration) error {
+		var ack ResultAck
+		err := postJSON(ctx, client, apiURL(baseURL, "jobs", jobID, "results"),
+			ResultUpload{Worker: name, Task: t.ID(), Values: WireFloats(values), ElapsedMS: elapsed.Milliseconds()}, &ack)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		delete(held, t.ID())
+		mu.Unlock()
+		if ack.Duplicate {
+			logf("worker %s: task %s was already done (duplicate dropped)", name, t.ID())
+		}
+		return nil
+	})
+}
+
+// resolveJob picks the job to work on and decodes its spec. With an
+// explicit jobID a missing job is an immediate error; with "" the
+// worker polls the listing until an incomplete job appears (the
+// coordinator may still be registering it) and returns nil work when
+// every listed job is already complete.
+func resolveJob(ctx context.Context, client *http.Client, baseURL, jobID string, poll time.Duration) (string, job.Spec, error) {
+	for jobID == "" {
+		jobs, err := ListJobs(ctx, client, baseURL)
+		if err != nil {
+			return "", job.Spec{}, err
+		}
+		for _, j := range jobs {
+			if !j.Complete {
+				jobID = j.ID
+				break
+			}
+		}
+		if jobID != "" {
+			break
+		}
+		if len(jobs) > 0 {
+			// Only complete jobs: nothing to do, pick the first so the
+			// caller can still fetch results by the returned ID.
+			jobID = jobs[0].ID
+			break
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return "", job.Spec{}, ctx.Err()
+		}
+	}
+	detail, err := GetJob(ctx, client, baseURL, jobID)
+	if err != nil {
+		return "", job.Spec{}, err
+	}
+	spec, err := job.DecodeSpec(detail.Spec)
+	if err != nil {
+		return "", job.Spec{}, err
+	}
+	return jobID, spec, nil
+}

@@ -3,11 +3,13 @@ package job
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"slices"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -132,18 +134,43 @@ func specFromJSON(dir string, sj specJSON) (Spec, error) {
 	}, nil
 }
 
+// EncodeSpec serialises a Spec in the checkpoint spec wire format (the
+// bytes of spec.json). The grid coordinator ships this to workers so
+// lease execution and checkpoint resume share one spec codec.
+func EncodeSpec(s Spec) ([]byte, error) {
+	sj, err := specToJSON(s)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(sj)
+}
+
+// DecodeSpec parses an EncodeSpec payload back into a Spec. The domain
+// is resolved through the dsa registry, so the calling program must
+// import the domain's package.
+func DecodeSpec(raw []byte) (Spec, error) {
+	var sj specJSON
+	if err := json.Unmarshal(raw, &sj); err != nil {
+		return Spec{}, fmt.Errorf("job: corrupt spec payload: %w", err)
+	}
+	return specFromJSON("(wire spec)", sj)
+}
+
 type manifestEntry struct {
 	Task      string `json:"task"`
 	File      string `json:"file"`
 	ElapsedMS int64  `json:"elapsed_ms"`
 }
 
+// resultFile carries Values as dsa.JSONFloats so non-finite scores —
+// which a domain may legitimately produce and the CSV codec already
+// round-trips — checkpoint instead of panicking encoding/json.
 type resultFile struct {
-	Task    string    `json:"task"`
-	Measure string    `json:"measure"`
-	Lo      int       `json:"lo"`
-	Hi      int       `json:"hi"`
-	Values  []float64 `json:"values"`
+	Task    string         `json:"task"`
+	Measure string         `json:"measure"`
+	Lo      int            `json:"lo"`
+	Hi      int            `json:"hi"`
+	Values  dsa.JSONFloats `json:"values"`
 }
 
 // checkpoint is one process's open handle on a checkpoint directory.
@@ -159,6 +186,13 @@ type checkpoint struct {
 // every completed task from existing manifests, and opens this shard's
 // manifest for appending.
 func openCheckpoint(dir string, spec Spec, shards, shardIndex int) (*checkpoint, error) {
+	return openCheckpointNamed(dir, spec, fmt.Sprintf("manifest-s%dof%d.jsonl", shardIndex, shards))
+}
+
+// openCheckpointNamed is openCheckpoint with an explicit manifest file
+// name (every writer appends to its own manifest; loading merges all
+// manifest-*.jsonl present).
+func openCheckpointNamed(dir string, spec Spec, manifestName string) (*checkpoint, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("job: checkpoint dir: %w", err)
 	}
@@ -198,13 +232,46 @@ func openCheckpoint(dir string, spec Spec, shards, shardIndex int) (*checkpoint,
 	if err != nil {
 		return nil, err
 	}
-	name := fmt.Sprintf("manifest-s%dof%d.jsonl", shardIndex, shards)
-	mf, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	mf, err := os.OpenFile(filepath.Join(dir, manifestName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("job: open manifest: %w", err)
 	}
 	return &checkpoint{dir: dir, manifest: mf, completed: completed}, nil
 }
+
+// Checkpoint is an exported handle on a checkpoint directory for
+// external ingesters: the grid coordinator records results computed by
+// remote workers through it, so grid runs and local runs share one
+// on-disk format — Load, dsa-report and a local -resume all work on a
+// directory regardless of which engine filled it.
+type Checkpoint struct {
+	cp *checkpoint
+}
+
+// OpenCheckpoint opens (or creates) dir for spec, writing or verifying
+// spec.json exactly like a local run would. The coordinator appends to
+// its own manifest file (manifest-grid.jsonl), so a directory may mix
+// grid-ingested and shard-run results.
+func OpenCheckpoint(dir string, spec Spec) (*Checkpoint, error) {
+	cp, err := openCheckpointNamed(dir, spec, "manifest-grid.jsonl")
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{cp: cp}, nil
+}
+
+// Completed returns the task-ID → values map restored from the
+// directory's manifests at open time. The caller takes ownership.
+func (c *Checkpoint) Completed() map[string][]float64 { return c.cp.completed }
+
+// Record persists one finished task (atomic result file, then a synced
+// manifest line). Safe for concurrent use.
+func (c *Checkpoint) Record(t Task, values []float64, elapsed time.Duration) error {
+	return c.cp.record(t, values, elapsed)
+}
+
+// Close closes the manifest. Record must not be called after Close.
+func (c *Checkpoint) Close() error { return c.cp.close() }
 
 // record persists one finished task: the result file first (atomic
 // rename), then the manifest line that makes it count, synced so a
@@ -320,7 +387,9 @@ func loadCheckpoint(dir string) (Spec, map[string][]float64, error) {
 // directory plus rename. The unique name matters: concurrently started
 // shard processes race to write an identical spec.json, and a shared
 // temp path would let one process rename the file away between
-// another's write and rename.
+// another's write and rename. The file is fsynced before the rename
+// and the directory after it, so a recorded task survives power loss,
+// not just process crash.
 func writeFileAtomic(path string, data []byte) error {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -328,6 +397,9 @@ func writeFileAtomic(path string, data []byte) error {
 	}
 	tmp := f.Name()
 	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
 	cerr := f.Close()
 	if werr == nil {
 		werr = cerr
@@ -338,11 +410,34 @@ func writeFileAtomic(path string, data []byte) error {
 	if werr == nil {
 		werr = os.Rename(tmp, path)
 	}
+	if werr == nil {
+		werr = syncDir(filepath.Dir(path))
+	}
 	if werr != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("job: write %s: %w", path, werr)
 	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// is durable. Filesystems that cannot sync directories (some network
+// mounts) report EINVAL/ENOTSUP; those fall back silently to
+// crash-only (not power-loss) durability — the rename itself is still
+// atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		return nil
+	}
+	return err
 }
 
 func mustJSON(v any) []byte {

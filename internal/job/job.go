@@ -191,21 +191,66 @@ func Run(ctx context.Context, d dsa.Domain, points []core.Point, cfg dsa.Config,
 	return assemble(spec, results)
 }
 
-// runPool executes the pending tasks on a bounded worker pool. results
-// and cp are updated under mu as tasks finish; the first task error or
-// a context cancellation stops the pool.
+// runPool executes the pending tasks on a bounded worker pool,
+// journalling and recording each result as it lands; the first task or
+// sink error, or a context cancellation, stops the pool.
 func runPool(ctx context.Context, spec Spec, mine []Task, cp *checkpoint, results map[string][]float64, opts Options, total int) error {
-	if len(mine) == 0 {
+	start := time.Now()
+	var (
+		mu    sync.Mutex
+		fresh int
+	)
+	return ExecTasks(ctx, spec, mine, opts.Workers, func(t Task, vals []float64, elapsed time.Duration) error {
+		// The checkpoint write (with its fsyncs) runs concurrently
+		// across pool workers — record has its own manifest lock; only
+		// the in-memory bookkeeping and the Progress callback (whose
+		// contract is "serialized") go under mu.
+		if cp != nil {
+			if err := cp.record(t, vals, elapsed); err != nil {
+				return err
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		results[t.ID()] = vals
+		fresh++
+		snap := Progress{
+			TotalTasks: total,
+			DoneTasks:  len(results),
+			FreshTasks: fresh,
+			MineTasks:  len(mine),
+			Elapsed:    time.Since(start),
+		}
+		if left := len(mine) - fresh; left > 0 {
+			snap.ETA = time.Duration(int64(snap.Elapsed) / int64(fresh) * int64(left))
+		}
+		if opts.Progress != nil {
+			opts.Progress(snap)
+		}
+		return nil
+	})
+}
+
+// ExecTasks computes tasks on a bounded worker pool — the execution
+// primitive shared by the local engine (Run) and the grid worker
+// (internal/grid), so both parallelise a task batch identically. Each
+// task's values come from the domain's ScoreSlice and are handed to
+// sink. Sink is called concurrently from the pool's goroutines (so
+// slow sinks — fsyncs, uploads — overlap with computation and each
+// other) and must be safe for concurrent use; the first sink or task
+// error stops the pool. workers <= 0 falls back to spec.Cfg.Workers,
+// then GOMAXPROCS.
+func ExecTasks(ctx context.Context, spec Spec, tasks []Task, workers int, sink func(t Task, values []float64, elapsed time.Duration) error) error {
+	if len(tasks) == 0 {
 		return ctx.Err()
 	}
-	workers := opts.Workers
 	if workers <= 0 {
 		workers = spec.Cfg.Workers
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	poolSize := min(workers, len(mine))
+	poolSize := min(workers, len(tasks))
 	// Parallelism lives at the task level; when there are fewer tasks
 	// than workers, give each task's inner ScoreSlice the spare share
 	// so small sweeps still use the machine. Inner worker count never
@@ -216,11 +261,9 @@ func runPool(ctx context.Context, spec Spec, mine []Task, cp *checkpoint, result
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	start := time.Now()
 	var (
 		mu      sync.Mutex
 		wg      sync.WaitGroup
-		fresh   int
 		firstEr error
 	)
 	fail := func(err error) {
@@ -246,34 +289,15 @@ func runPool(ctx context.Context, spec Spec, mine []Task, cp *checkpoint, result
 					fail(fmt.Errorf("job: task %s: %w", t.ID(), err))
 					return
 				}
-				if cp != nil {
-					if err := cp.record(t, vals, time.Since(taskStart)); err != nil {
-						fail(err)
-						return
-					}
+				if err := sink(t, vals, time.Since(taskStart)); err != nil {
+					fail(err)
+					return
 				}
-				mu.Lock()
-				results[t.ID()] = vals
-				fresh++
-				snap := Progress{
-					TotalTasks: total,
-					DoneTasks:  len(results),
-					FreshTasks: fresh,
-					MineTasks:  len(mine),
-					Elapsed:    time.Since(start),
-				}
-				if left := len(mine) - fresh; left > 0 {
-					snap.ETA = time.Duration(int64(snap.Elapsed) / int64(fresh) * int64(left))
-				}
-				if opts.Progress != nil {
-					opts.Progress(snap)
-				}
-				mu.Unlock()
 			}
 		}()
 	}
 feed:
-	for _, t := range mine {
+	for _, t := range tasks {
 		select {
 		case next <- t:
 		case <-ctx.Done():
@@ -286,6 +310,15 @@ feed:
 		return firstEr
 	}
 	return ctx.Err()
+}
+
+// AssembleScores stitches per-task value slices (task ID → values)
+// into this spec's merged Scores. It is the same assembly Run and Load
+// perform, exported for the grid coordinator, which collects task
+// results over HTTP instead of computing them — so grid sweeps merge
+// byte-identically with local ones.
+func (s Spec) AssembleScores(results map[string][]float64) (*dsa.Scores, error) {
+	return assemble(s, results)
 }
 
 // assemble stitches per-task value slices into the merged Scores,

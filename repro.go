@@ -22,6 +22,9 @@
 //     must provide for the generic engine layers to run it.
 //   - internal/job       — the sharded, checkpointed sweep engine; it
 //     executes any Domain.
+//   - internal/grid      — the HTTP coordinator/worker grid: a sweep
+//     served as leased tasks to workers on any machines, survivable
+//     under worker failure (see ServeGrid / GridSweep).
 //   - internal/swarm     — the piece-level BitTorrent swarm simulator
 //     used for validation (Section 5).
 //   - internal/gossip    — DSA applied to the gossip domain
@@ -35,11 +38,13 @@ package repro
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/design"
 	"repro/internal/dsa"
 	"repro/internal/exp"
+	"repro/internal/grid"
 	"repro/internal/job"
 	"repro/internal/pra"
 	"repro/internal/swarm"
@@ -153,6 +158,102 @@ func RunSweepContext(ctx context.Context, d Domain, points []SpacePoint, cfg Swe
 // LoadSweep reassembles a checkpointed sweep of any registered domain
 // without running any simulation.
 func LoadSweep(dir string) (*DomainScores, error) { return job.Load(dir) }
+
+// GridOptions configures ServeGrid.
+type GridOptions struct {
+	Dir      string               // checkpoint root; "" keeps results in memory only
+	Chunk    int                  // points per task; 0 = the engine default
+	LeaseTTL time.Duration        // task lease duration; 0 = the grid default
+	OnListen func(addr string)    // called with the bound address (useful with ":0")
+	Logf     func(string, ...any) // coordinator event log; nil = silent
+	// Linger keeps the API up this long after the job completes, so
+	// workers can fetch the assembled scores before the server goes
+	// away. 0 = 2s; negative = shut down immediately.
+	Linger time.Duration
+}
+
+// ServeGrid starts a grid coordinator on addr serving the sweep of d
+// over points (nil = the whole space) and blocks until every task is
+// done — returning the assembled scores, byte-identical to RunSweep —
+// or until ctx is cancelled. Workers join with GridSweep or
+// `dsa-grid work -coordinator http://<addr>`; any of them may die
+// mid-sweep, their expired leases are re-run elsewhere.
+func ServeGrid(ctx context.Context, addr string, d Domain, points []SpacePoint, cfg SweepConfig, opts GridOptions) (*DomainScores, error) {
+	coord := grid.NewCoordinator(grid.CoordinatorOptions{
+		Dir: opts.Dir, LeaseTTL: opts.LeaseTTL, Logf: opts.Logf, CSV: exp.WriteDomainCSV,
+	})
+	defer coord.Close()
+	id, err := coord.AddJob(job.Spec{Domain: d, Points: points, Cfg: cfg, Chunk: opts.Chunk})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- coord.Serve(ctx, addr, opts.OnListen) }()
+	type waitResult struct {
+		scores *DomainScores
+		err    error
+	}
+	waited := make(chan waitResult, 1)
+	go func() {
+		s, err := coord.WaitComplete(ctx, id)
+		waited <- waitResult{s, err}
+	}()
+	select {
+	case r := <-waited:
+		if r.err == nil {
+			linger := opts.Linger
+			if linger == 0 {
+				linger = 2 * time.Second
+			}
+			if linger > 0 {
+				select {
+				case <-time.After(linger):
+				case <-ctx.Done():
+				}
+			}
+		}
+		cancel()
+		<-serveErr
+		return r.scores, r.err
+	case err := <-serveErr:
+		// The server died first (bad addr, listener error) — or ctx
+		// was cancelled, in which case the waiter has the ctx error.
+		cancel()
+		r := <-waited
+		if err != nil {
+			return nil, err
+		}
+		return r.scores, r.err
+	}
+}
+
+// GridSweep contributes an in-process worker to the grid coordinator
+// at coordinatorURL — leasing tasks, computing them `workers` wide
+// (0 = all cores) and uploading results — until the coordinator's
+// first incomplete job completes (or, if every job is already done,
+// the first job), then fetches and returns its assembled scores.
+func GridSweep(ctx context.Context, coordinatorURL string, workers int) (*DomainScores, error) {
+	jobs, err := grid.ListJobs(ctx, nil, coordinatorURL)
+	if err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, ErrSweepIncomplete
+	}
+	id := jobs[0].ID
+	for _, j := range jobs {
+		if !j.Complete {
+			id = j.ID
+			break
+		}
+	}
+	if err := grid.Work(ctx, coordinatorURL, id, grid.WorkerOptions{Workers: workers}); err != nil {
+		return nil, err
+	}
+	return grid.FetchScores(ctx, nil, coordinatorURL, id)
+}
 
 // DefaultSwarm returns the Section 5 swarm setup (5 MiB file, 128 KiB/s
 // seeder, 10 s choke interval).

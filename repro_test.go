@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
 	"reflect"
 	"testing"
 )
@@ -73,5 +74,62 @@ func TestFacadeGenericSweep(t *testing.T) {
 	}
 	if !reflect.DeepEqual(scores, reloaded) {
 		t.Fatal("LoadSweep does not match the live sweep")
+	}
+}
+
+// TestFacadeGrid runs a whole grid through the facade: ServeGrid hosts
+// the coordinator on a loopback port, two GridSweep workers join over
+// HTTP, and both sides must return scores byte-identical to a plain
+// RunSweepContext of the same sweep.
+func TestFacadeGrid(t *testing.T) {
+	d, err := DomainByName("gossip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{Peers: 6, Rounds: 20, PerfRuns: 1, EncounterRuns: 1, Opponents: 2, Seed: 3}
+	pts := d.Space().Enumerate()[:8]
+	ctx := context.Background()
+	want, err := RunSweepContext(ctx, d, pts, cfg, SweepOptions{Chunk: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrC := make(chan string, 1)
+	type result struct {
+		scores *DomainScores
+		err    error
+	}
+	served := make(chan result, 1)
+	go func() {
+		s, err := ServeGrid(ctx, "127.0.0.1:0", d, pts, cfg, GridOptions{
+			Chunk: 2, OnListen: func(addr string) { addrC <- addr },
+		})
+		served <- result{s, err}
+	}()
+	url := "http://" + <-addrC
+
+	workerDone := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			s, err := GridSweep(ctx, url, 2)
+			workerDone <- result{s, err}
+		}()
+	}
+	wantJSON, _ := json.Marshal(want)
+	for i := 0; i < 2; i++ {
+		r := <-workerDone
+		if r.err != nil {
+			t.Fatalf("GridSweep: %v", r.err)
+		}
+		if got, _ := json.Marshal(r.scores); string(got) != string(wantJSON) {
+			t.Fatal("GridSweep scores are not byte-identical to RunSweep")
+		}
+	}
+	r := <-served
+	if r.err != nil {
+		t.Fatalf("ServeGrid: %v", r.err)
+	}
+	if got, _ := json.Marshal(r.scores); string(got) != string(wantJSON) {
+		t.Fatal("ServeGrid scores are not byte-identical to RunSweep")
 	}
 }

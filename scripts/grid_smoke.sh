@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Grid smoke test with real processes and a real SIGKILL: a 1-coordinator
+# + 2-worker localhost grid sweeps the gossip domain, one worker is
+# killed -9 mid-run (its leases must expire and re-queue), and the
+# resulting CSV must be byte-identical to a single-process dsa-sweep of
+# the same spec. Run from the repo root; CI runs it on every push.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+bin="$workdir/bin"
+mkdir -p "$bin"
+cleanup() {
+  # Kill anything still running; ignore the ones already gone.
+  kill -9 "${coord_pid:-}" "${w1_pid:-}" "${w2_pid:-}" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building dsa-grid and dsa-sweep"
+go build -o "$bin/dsa-grid" ./cmd/dsa-grid
+go build -o "$bin/dsa-sweep" ./cmd/dsa-sweep
+
+# Sweep shape: 36 gossip points, chunk 1 => 72 tasks, sims sized so
+# the whole grid run takes several seconds — long enough to kill a
+# worker in the middle. Flags must match between the grid and the
+# single-process reference exactly.
+sweep_flags=(-domain gossip -stride 6 -peers 16 -rounds 800 -perfruns 3
+             -encruns 1 -opponents 8 -seed 11 -chunk 1)
+addr="127.0.0.1:18437"
+url="http://$addr"
+
+echo "== single-process reference sweep"
+"$bin/dsa-sweep" "${sweep_flags[@]}" -preset quick -out "$workdir/reference.csv"
+
+echo "== starting coordinator"
+"$bin/dsa-grid" serve -addr "$addr" "${sweep_flags[@]}" -preset quick \
+  -checkpoint-dir "$workdir/ckpt" -lease-ttl 2s -once -out "$workdir/grid.csv" \
+  >"$workdir/coordinator.log" 2>&1 &
+coord_pid=$!
+
+# Wait for the API to come up.
+for _ in $(seq 1 50); do
+  curl -sf "$url/v1/jobs" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "$url/v1/jobs" >/dev/null
+
+echo "== starting 2 workers"
+# The doomed worker computes serially but leases greedily, so it holds
+# unfinished leases for almost its whole life — the SIGKILL below is
+# then guaranteed to strand leases for the expiry path to recover.
+"$bin/dsa-grid" work -coordinator "$url" -name doomed -workers 1 -tasks-per-lease 4 \
+  >"$workdir/worker1.log" 2>&1 &
+w1_pid=$!
+"$bin/dsa-grid" work -coordinator "$url" -name survivor -tasks-per-lease 2 \
+  >"$workdir/worker2.log" 2>&1 &
+w2_pid=$!
+
+# Find the job ID, then kill the first worker as soon as a few tasks
+# are done but most are still outstanding — a genuine mid-run SIGKILL.
+job_id=$(curl -sf "$url/v1/jobs" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+echo "== waiting for progress on job $job_id, then SIGKILLing worker 'doomed'"
+for _ in $(seq 1 200); do
+  done_tasks=$(curl -sf "$url/v1/jobs/$job_id/progress" | grep -o '"done_tasks":[0-9]*' | cut -d: -f2)
+  [ "${done_tasks:-0}" -ge 4 ] && break
+  sleep 0.1
+done
+if [ "${done_tasks:-0}" -ge 60 ] || ! kill -0 "$w1_pid" 2>/dev/null; then
+  echo "sweep nearly done before the kill; the workload is too small for this smoke" >&2
+  exit 1
+fi
+kill -9 "$w1_pid"
+echo "killed at $done_tasks/72 tasks"
+
+echo "== waiting for the surviving worker + coordinator to finish"
+wait "$w2_pid"
+wait "$coord_pid"
+
+echo "== comparing grid CSV against the single-process reference"
+cmp "$workdir/reference.csv" "$workdir/grid.csv"
+
+# The kill must actually have exercised the re-lease path.
+if ! grep -q "re-queued" "$workdir/coordinator.log"; then
+  echo "no lease ever expired — the SIGKILL did not leave leases behind?" >&2
+  cat "$workdir/coordinator.log" >&2
+  exit 1
+fi
+echo "OK: byte-identical scores, and the dead worker's leases were re-queued"

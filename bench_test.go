@@ -6,16 +6,20 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/analytic"
 	"repro/internal/bandwidth"
+	cachepkg "repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/cyclesim"
 	"repro/internal/design"
 	"repro/internal/dsa"
 	"repro/internal/exp"
 	"repro/internal/game"
 	"repro/internal/gossip"
+	"repro/internal/job"
 	"repro/internal/pra"
 	"repro/internal/swarm"
 )
@@ -314,6 +318,83 @@ func BenchmarkDesignEnumerate(b *testing.B) {
 		all := design.Enumerate()
 		if design.ID(all[len(all)-1]) != design.SpaceSize-1 {
 			b.Fatal("enumeration broken")
+		}
+	}
+}
+
+// benchExploreCfg is the explorer workload of the cache benchmarks:
+// small enough to iterate, big enough that real simulation dominates a
+// cold run.
+func benchExploreCfg() dsa.Config {
+	return dsa.Config{Peers: 10, Rounds: 60, PerfRuns: 1, EncounterRuns: 1, Opponents: 4, Seed: 1}
+}
+
+func benchExplore(b *testing.B, store *cachepkg.Store) {
+	b.Helper()
+	var sc dsa.ScoreCache
+	if store != nil {
+		sc = store
+	}
+	_, _, err := dsa.HillClimb(gossip.Domain(), dsa.Weights{gossip.MeasureCoverage: 1},
+		benchExploreCfg(), core.HillClimbConfig{Restarts: 2, MaxSteps: 15, Seed: 3}, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExplorerColdCache is the baseline of the PR 4 headline
+// claim: each iteration is a full Section 7 hill climb with every
+// score simulated (no cache). Compare against
+// BenchmarkExplorerWarmCache — the warm/cold ns/op ratio is the
+// measured speedup (CI asserts >= 5x in scripts/cache_smoke.sh).
+func BenchmarkExplorerColdCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchExplore(b, nil)
+	}
+}
+
+// BenchmarkExplorerWarmCache runs the identical hill climb against a
+// pre-warmed content-addressed score cache: every evaluation is a key
+// derivation plus a sharded-LRU hit, no simulation at all. Results are
+// byte-identical to the cold run (asserted by the dsa and job parity
+// tests); only the cost changes.
+func BenchmarkExplorerWarmCache(b *testing.B) {
+	store, err := cachepkg.Open(cachepkg.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	benchExplore(b, store) // warm every score the search will touch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchExplore(b, store)
+	}
+}
+
+// BenchmarkCachedSweepWarm measures the engine-level seam: a full
+// job.Run of a 28-point gossip sweep where every score is served from
+// the cache (checkpointing off, simulation skipped).
+func BenchmarkCachedSweepWarm(b *testing.B) {
+	d := gossip.Domain()
+	all := d.Space().Enumerate()
+	var pts []core.Point
+	for i := 0; i < len(all); i += 8 {
+		pts = append(pts, all[i])
+	}
+	cfg := benchExploreCfg()
+	store, err := cachepkg.Open(cachepkg.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	ctx := context.Background()
+	if _, err := job.Run(ctx, d, pts, cfg, job.Options{Chunk: 4, Cache: store}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := job.Run(ctx, d, pts, cfg, job.Options{Chunk: 4, Cache: store}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -11,11 +11,11 @@
 //	dsa-grid serve -addr :8437 [-domain swarming|gossip] [-preset quick|paper]
 //	               [-stride N] [-opponents N] [-peers N] [-rounds N]
 //	               [-perfruns N] [-encruns N] [-seed N] [-chunk N]
-//	               [-checkpoint-dir DIR] [-lease-ttl 30s]
+//	               [-checkpoint-dir DIR] [-cache-dir DIR] [-lease-ttl 30s]
 //	               [-out results.csv] [-once]
 //
 //	dsa-grid work  -coordinator http://host:8437 [-job ID] [-name ID]
-//	               [-workers N] [-tasks-per-lease N]
+//	               [-workers N] [-tasks-per-lease N] [-cache-dir DIR]
 //
 // serve registers the sweep (the sweep-shaping flags mirror dsa-sweep)
 // and serves the /v1 API: job listing, task leases, result ingest, and
@@ -27,8 +27,17 @@
 // scripts and CI want; without it the coordinator keeps serving the
 // results API.
 //
+// With serve -cache-dir the coordinator keeps a cross-job
+// content-addressed score cache: every ingested result feeds it, and
+// any job — this one after a restart, or a later overlapping spec —
+// whose scores are already known is served from it without dispatching
+// work. Counters are served on GET /v1/cache and by
+// `dsa-report -coordinator URL cache`.
+//
 // work runs one worker until the job completes. -workers controls how
-// many tasks it computes in parallel (default: all cores). Point a
+// many tasks it computes in parallel (default: all cores); -cache-dir
+// memoises scores on the worker side, so a re-leased or overlapping
+// task uploads known values instead of recomputing them. Point a
 // report at the grid with:
 //
 //	dsa-report -domain D -coordinator http://host:8437 top
@@ -43,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/dsa"
 	"repro/internal/exp"
 	"repro/internal/grid"
@@ -86,6 +96,7 @@ func runServe(ctx context.Context, args []string) {
 		seed      = fs.Int64("seed", 1, "master seed")
 		chunk     = fs.Int("chunk", 0, "points per task (0 = default)")
 		ckptDir   = fs.String("checkpoint-dir", "", "journal results under DIR/<job-id>; survives coordinator restarts")
+		cacheDir  = fs.String("cache-dir", "", "cross-job score cache; known scores are served without dispatching work")
 		leaseTTL  = fs.Duration("lease-ttl", grid.DefaultLeaseTTL, "task lease duration; unheartbeated leases expire and re-queue")
 		out       = fs.String("out", "", "write the assembled CSV here when the job completes")
 		once      = fs.Bool("once", false, "exit once the job completes instead of keeping the results API up")
@@ -115,9 +126,20 @@ func runServe(ctx context.Context, args []string) {
 	cfg = dsa.ApplyOverrides(cfg, *seed, *opponents, *peers, *rounds, *perfRuns, *encRuns)
 	points := dsa.StridePoints(d, *stride)
 
-	coord := grid.NewCoordinator(grid.CoordinatorOptions{
+	coordOpts := grid.CoordinatorOptions{
 		Dir: *ckptDir, LeaseTTL: *leaseTTL, Logf: log.Printf, CSV: exp.WriteDomainCSV,
-	})
+	}
+	if *cacheDir != "" {
+		store, err := cache.Open(cache.Options{Dir: *cacheDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		coordOpts.Cache = store
+		st := store.Stats()
+		log.Printf("score cache %s: %d entries, %d bytes on disk", *cacheDir, st.Entries, st.Bytes)
+	}
+	coord := grid.NewCoordinator(coordOpts)
 	defer coord.Close()
 	id, err := coord.AddJob(job.Spec{Domain: d, Points: points, Cfg: cfg, Chunk: *chunk})
 	if err != nil {
@@ -220,14 +242,24 @@ func runWork(ctx context.Context, args []string) {
 		name        = fs.String("name", "", "worker identity (default: host-pid-N)")
 		workers     = fs.Int("workers", 0, "parallel tasks (0 = all cores)")
 		perLease    = fs.Int("tasks-per-lease", 0, "tasks per lease call (0 = coordinator's cap)")
+		cacheDir    = fs.String("cache-dir", "", "worker-side score cache; leased tasks reuse known scores")
 	)
 	fs.Parse(args)
 	if *coordinator == "" {
 		log.Fatal("work needs -coordinator URL")
 	}
-	err := grid.Work(ctx, *coordinator, *jobID, grid.WorkerOptions{
+	workOpts := grid.WorkerOptions{
 		Name: *name, Workers: *workers, TasksPerLease: *perLease, Logf: log.Printf,
-	})
+	}
+	if *cacheDir != "" {
+		store, err := cache.Open(cache.Options{Dir: *cacheDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		workOpts.Cache = store
+	}
+	err := grid.Work(ctx, *coordinator, *jobID, workOpts)
 	switch {
 	case err == nil:
 		log.Printf("job complete")

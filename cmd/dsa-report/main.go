@@ -14,6 +14,8 @@
 //	dsa-report [-preset quick] [-stride N] validate|churn
 //	dsa-report -domain gossip [-in results.csv | -checkpoint DIR | -coordinator URL] top|scatter
 //	dsa-report -domain gossip -checkpoint DIR -out results.csv merge
+//	dsa-report -cache-dir DIR cache
+//	dsa-report -coordinator http://host:8437 cache
 //
 // -checkpoint reads the scores straight out of a dsa-sweep checkpoint
 // directory (the merged manifests of one or more shard processes)
@@ -27,6 +29,12 @@
 // all. -job selects the job; by default the first job of the report's
 // -domain is used. An incomplete job is reported as an error with its
 // progress.
+//
+// The cache report inspects a content-addressed score cache: with
+// -cache-dir it opens the local store (read-only — entries, on-disk
+// bytes, records dropped as corrupt), with -coordinator it fetches the
+// live counters from GET /v1/cache (hits, misses, tasks served without
+// dispatch).
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/design"
 	"repro/internal/dsa"
 	"repro/internal/exp"
@@ -58,6 +67,7 @@ func main() {
 		in     = flag.String("in", "results.csv", "CSV produced by dsa-sweep")
 		ckpt   = flag.String("checkpoint", "", "dsa-sweep checkpoint dir to read instead of -in")
 		coord  = flag.String("coordinator", "", "dsa-grid coordinator URL to fetch scores from instead of -in")
+		cacheD = flag.String("cache-dir", "", "score cache directory (cache report)")
 		jobID  = flag.String("job", "", "coordinator job ID (default: the first job of -domain)")
 		out    = flag.String("out", "results.csv", "output CSV path (merge)")
 		preset = flag.String("preset", "quick", "quick or paper (validate/churn)")
@@ -69,6 +79,11 @@ func main() {
 		log.Fatal("usage: dsa-report [flags] fig2|fig3|fig4|fig5|fig6|fig7|fig8|table3|top|merge|validate|churn (swarming) or top|scatter|merge (-domain others)")
 	}
 	what := flag.Arg(0)
+
+	if what == "cache" {
+		runCacheReport(*cacheD, *coord)
+		return
+	}
 
 	if *domain != pra.DomainName {
 		d, err := dsa.Get(*domain)
@@ -284,6 +299,62 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// runCacheReport renders the cache stats view: the live counters of a
+// coordinator's cross-job cache, or the on-disk state of a local
+// cache directory (opening claims no write segment until a first Put,
+// which a stats view never issues, so it is safe against a cache in
+// active use).
+func runCacheReport(cacheDir, coord string) {
+	w := os.Stdout
+	switch {
+	case coord != "":
+		resp, err := grid.FetchCacheStats(context.Background(), nil, coord)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !resp.Enabled {
+			fmt.Fprintf(w, "coordinator %s runs without a score cache (start dsa-grid serve with -cache-dir)\n", coord)
+			return
+		}
+		fmt.Fprintf(w, "score cache at %s:\n", coord)
+		printCacheStats(w, resp.CacheStats)
+	case cacheDir != "":
+		// Stat before Open: Open would create a missing directory, and
+		// a stats view of a mistyped path must fail loudly rather than
+		// report a healthy empty cache.
+		if info, err := os.Stat(cacheDir); err != nil {
+			log.Fatalf("cache dir: %v", err)
+		} else if !info.IsDir() {
+			log.Fatalf("cache dir %s is not a directory", cacheDir)
+		}
+		store, err := cache.Open(cache.Options{Dir: cacheDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		fmt.Fprintf(w, "score cache %s:\n", cacheDir)
+		printCacheStats(w, store.Stats())
+	default:
+		log.Fatal("cache needs -cache-dir or -coordinator")
+	}
+}
+
+func printCacheStats(w *os.File, st dsa.CacheStats) {
+	tbl := report.NewTable("metric", "value")
+	tbl.Add("entries", st.Entries)
+	tbl.Add("bytes on disk", st.Bytes)
+	tbl.Add("resident in memory", st.MemEntries)
+	tbl.Add("hits", st.Hits)
+	tbl.Add("misses", st.Misses)
+	tbl.Add("puts", st.Puts)
+	tbl.Add("lru evictions", st.Evictions)
+	tbl.Add("records dropped", st.Dropped)
+	tbl.Add("computations deduplicated", st.FlightWait)
+	if err := tbl.Render(w); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // fetchGrid pulls assembled scores from a dsa-grid coordinator's

@@ -7,7 +7,7 @@
 //	          [-stride N] [-opponents N]
 //	          [-peers N] [-rounds N] [-perfruns N] [-encruns N]
 //	          [-seed N] [-out results.csv] [-explore]
-//	          [-checkpoint-dir DIR] [-resume]
+//	          [-checkpoint-dir DIR] [-resume] [-cache-dir DIR]
 //	          [-shards N] [-shard-index I] [-chunk N]
 //
 // -domain selects the design space: swarming is the 3270-protocol
@@ -38,6 +38,15 @@
 // after copying the shard dirs' manifest-*.jsonl and task-*.json files
 // together. The shard that finishes last assembles and writes the CSV
 // itself when the dirs are shared.
+//
+// -cache-dir DIR memoises raw scores in a content-addressed store
+// (internal/cache): a re-run of the same or an overlapping spec —
+// different stride, different chunking, an -explore pass, another
+// process sharing the directory — reuses every score it already has
+// and produces byte-identical output. The cache key covers everything
+// a score depends on, so changing the seed, config or domain makes
+// entries miss rather than mis-hit. Inspect a cache with
+// `dsa-report -cache-dir DIR cache`.
 package main
 
 import (
@@ -52,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dsa"
 	"repro/internal/exp"
@@ -79,6 +89,7 @@ func main() {
 		explore   = flag.Bool("explore", false, "also run the heuristic explorers")
 		ckptDir   = flag.String("checkpoint-dir", "", "journal completed work here; survives interruption")
 		resume    = flag.Bool("resume", false, "continue from an existing checkpoint dir, skipping finished tasks")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed score cache; reruns and overlapping sweeps reuse scores")
 		shards    = flag.Int("shards", 1, "total shard processes splitting this sweep")
 		shardIdx  = flag.Int("shard-index", 0, "this process's shard in [0,shards)")
 		chunk     = flag.Int("chunk", 0, "points per job task (0 = default)")
@@ -132,6 +143,17 @@ func main() {
 	log.Printf("sweeping %d %s points (%s preset, %d peers, %d rounds, %d opponents, shard %d/%d)",
 		len(points), d.Name(), *preset, cfg.Peers, cfg.Rounds, cfg.Opponents, *shardIdx, *shards)
 
+	var scoreCache *cache.Store
+	if *cacheDir != "" {
+		var err error
+		if scoreCache, err = cache.Open(cache.Options{Dir: *cacheDir}); err != nil {
+			log.Fatal(err)
+		}
+		defer scoreCache.Close()
+		st := scoreCache.Stats()
+		log.Printf("score cache %s: %d entries, %d bytes on disk", *cacheDir, st.Entries, st.Bytes)
+	}
+
 	// First Ctrl-C / SIGTERM cancels the sweep cleanly: in-flight
 	// tasks drain (and are journalled), no new ones start. Once the
 	// cancellation fires the handler unregisters itself, so a second
@@ -143,14 +165,20 @@ func main() {
 		stop()
 	}()
 
-	start := time.Now()
-	scores, err := job.Run(ctx, d, points, cfg, job.Options{
+	jobOpts := job.Options{
 		Dir:        *ckptDir,
 		Shards:     *shards,
 		ShardIndex: *shardIdx,
 		Chunk:      *chunk,
 		Progress:   progressLogger(),
-	})
+	}
+	if scoreCache != nil {
+		// Assign only when non-nil: a typed-nil *cache.Store in the
+		// interface field would read as "cache present".
+		jobOpts.Cache = scoreCache
+	}
+	start := time.Now()
+	scores, err := job.Run(ctx, d, points, cfg, jobOpts)
 	switch {
 	case errors.Is(err, job.ErrIncomplete):
 		log.Printf("shard %d/%d done in %v; %v", *shardIdx, *shards, time.Since(start).Round(time.Second), err)
@@ -179,7 +207,12 @@ func main() {
 	log.Printf("wrote %s (%d rows)", *out, len(scores.Points))
 
 	if *explore {
-		runExplorers(d, cfg)
+		runExplorers(d, cfg, scoreCache)
+	}
+	if scoreCache != nil {
+		st := scoreCache.Stats()
+		log.Printf("score cache: %d hits, %d misses, %d entries (%d bytes on disk)",
+			st.Hits, st.Misses, st.Entries, st.Bytes)
 	}
 }
 
@@ -216,19 +249,27 @@ func progressLogger() func(job.Progress) {
 
 // runExplorers demonstrates the Section 7 heuristic exploration on the
 // selected domain against its primary measure, with a shared memoised
-// objective.
-func runExplorers(d dsa.Domain, cfg dsa.Config) {
+// objective. With -cache-dir the two searches also share raw scores
+// with each other, with previous runs and with the sweep itself (the
+// sweep fills the cache at full PerfRuns scale; the explorers use
+// PerfRuns 1, a different config hash, so their entries are disjoint —
+// a warm second -explore run is where the cache pays off).
+func runExplorers(d dsa.Domain, cfg dsa.Config, store *cache.Store) {
+	var sc dsa.ScoreCache
+	if store != nil {
+		sc = store
+	}
 	perfCfg := cfg
 	perfCfg.PerfRuns = 1
 	primary := d.Measures()[0]
 	weights := dsa.Weights{primary: 1}
-	hc, hcCalls, err := dsa.HillClimb(d, weights, perfCfg, core.HillClimbConfig{Restarts: 3, MaxSteps: 30, Seed: cfg.Seed})
+	hc, hcCalls, err := dsa.HillClimb(d, weights, perfCfg, core.HillClimbConfig{Restarts: 3, MaxSteps: 30, Seed: cfg.Seed}, sc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("hill climb: %s  raw %s=%.1f  (%d objective calls vs %d exhaustive)\n",
 		d.Label(hc.Point), primary, hc.Score, hcCalls, d.Space().Size())
-	ev, evCalls, err := dsa.Evolve(d, weights, perfCfg, core.EvolveConfig{Population: 24, Generations: 12, Seed: cfg.Seed})
+	ev, evCalls, err := dsa.Evolve(d, weights, perfCfg, core.EvolveConfig{Population: 24, Generations: 12, Seed: cfg.Seed}, sc)
 	if err != nil {
 		log.Fatal(err)
 	}

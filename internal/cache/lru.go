@@ -1,0 +1,93 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruShards is the in-memory layer: a key→score map sharded by the
+// first byte of the key (keys are SHA-256 outputs, so the shard
+// distribution is uniform by construction), each shard an LRU bounded
+// to its share of the configured capacity. Sharding keeps the hot path
+// — one mutex, one map lookup, one list move — uncontended when many
+// pool workers hit the cache at once.
+type lruShards struct {
+	shards []lruShard
+}
+
+type lruShard struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	items map[Key]*list.Element
+}
+
+type lruEntry struct {
+	key Key
+	val float64
+}
+
+// newLRUShards builds n shards splitting capacity entries between
+// them (each shard holds at least one entry).
+func newLRUShards(n, capacity int) *lruShards {
+	perShard := capacity / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	l := &lruShards{shards: make([]lruShard, n)}
+	for i := range l.shards {
+		l.shards[i] = lruShard{cap: perShard, order: list.New(), items: map[Key]*list.Element{}}
+	}
+	return l
+}
+
+func (l *lruShards) shard(k Key) *lruShard {
+	return &l.shards[int(k[0])%len(l.shards)]
+}
+
+func (l *lruShards) get(k Key) (float64, bool) {
+	s := l.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
+	if !ok {
+		return 0, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts k and reports how many entries were evicted to make room
+// (0 or 1; 0 also covers overwriting an existing key).
+func (l *lruShards) put(k Key, v float64) (evicted int) {
+	s := l.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		// Determinism makes any two values for one key equal, but keep
+		// the newest anyway: it is the cheapest way to stay correct if
+		// a caller ever violates that.
+		el.Value.(*lruEntry).val = v
+		s.order.MoveToFront(el)
+		return 0
+	}
+	s.items[k] = s.order.PushFront(&lruEntry{key: k, val: v})
+	if s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*lruEntry).key)
+		return 1
+	}
+	return 0
+}
+
+func (l *lruShards) len() int {
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -246,6 +246,12 @@ func mix64(x uint64) uint64 {
 // identity (point IDs a and b, run index, measure discriminator). The
 // derivation depends only on identity, never on position or schedule,
 // which is what makes domain ScoreSlice results recombine exactly.
+//
+// TaskSeed is total: every int input is defined, including negative
+// IDs or run indices (they mix in as their two's-complement bit
+// patterns — deterministic, no wrapping surprises), and the result is
+// always non-negative (the sign bit is cleared) so it is safe for
+// seed parameters that reject negatives. Pinned by tests.
 func TaskSeed(master int64, a, b, run, kind int) int64 {
 	h := mix64(uint64(master))
 	h = mix64(h ^ uint64(a)*0x100000001b3)
@@ -255,13 +261,31 @@ func TaskSeed(master int64, a, b, run, kind int) int64 {
 }
 
 // SamplePanel returns a fixed opponent panel: n elements drawn
-// deterministically and evenly from all (or all of them when n is 0 or
-// exceeds the set). Even strides keep the panel representative of every
-// region of the space; the offset derives from the master seed. Domains
-// without a bespoke panel policy build SampleOpponents on this — it is
-// generic over the element type so domains can sample their native
-// protocol representation as well as core.Point.
+// deterministically and evenly from all. Even strides keep the panel
+// representative of every region of the space; the offset derives from
+// the master seed. Domains without a bespoke panel policy build
+// SampleOpponents on this — it is generic over the element type so
+// domains can sample their native protocol representation as well as
+// core.Point.
+//
+// Edge sizes are policy, not accident (changing any of these would
+// silently change sweep values, so they are pinned by tests):
+//
+//	n == 0          → the full set: 0 means "no panel cap", the
+//	                  paper's full round-robin (Config.Opponents
+//	                  documents the same convention)
+//	n < 0           → the full set, same as 0 (Config.Validate
+//	                  rejects negative Opponents before a sweep
+//	                  starts; a direct caller gets the permissive
+//	                  reading rather than a panic)
+//	n >= len(all)   → the full set: a panel cannot exceed the
+//	                  population, and at n == len(all) sampling
+//	                  would only reorder it
+//	len(all) == 0   → empty, whatever n is
 func SamplePanel[T any](all []T, n int, seed int64) []T {
+	if len(all) == 0 {
+		return all
+	}
 	if n <= 0 || n >= len(all) {
 		return all
 	}

@@ -175,7 +175,7 @@ func TestExplorersOnGossipDomain(t *testing.T) {
 	d := gossip.Domain()
 	cfg := dsa.Config{Peers: 8, Rounds: 30, PerfRuns: 1, EncounterRuns: 1, Opponents: 3, Seed: 5}
 	w := dsa.Weights{gossip.MeasureCoverage: 1}
-	best, calls, err := dsa.HillClimb(d, w, cfg, core.HillClimbConfig{Restarts: 2, MaxSteps: 10, Seed: 9})
+	best, calls, err := dsa.HillClimb(d, w, cfg, core.HillClimbConfig{Restarts: 2, MaxSteps: 10, Seed: 9}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestExplorersOnGossipDomain(t *testing.T) {
 	if !d.Space().Valid(best.Point) {
 		t.Fatalf("hill climb returned invalid point %v", best.Point)
 	}
-	again, _, err := dsa.HillClimb(d, w, cfg, core.HillClimbConfig{Restarts: 2, MaxSteps: 10, Seed: 9})
+	again, _, err := dsa.HillClimb(d, w, cfg, core.HillClimbConfig{Restarts: 2, MaxSteps: 10, Seed: 9}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestExplorersOnGossipDomain(t *testing.T) {
 		t.Fatal("hill climb is not deterministic")
 	}
 
-	if _, _, err := dsa.HillClimb(d, dsa.Weights{"bogus": 1}, cfg, core.HillClimbConfig{Restarts: 1, MaxSteps: 1, Seed: 1}); err == nil {
+	if _, _, err := dsa.HillClimb(d, dsa.Weights{"bogus": 1}, cfg, core.HillClimbConfig{Restarts: 1, MaxSteps: 1, Seed: 1}, nil); err == nil {
 		t.Fatal("unknown measure weight accepted")
 	}
 }

@@ -23,7 +23,16 @@ type Weights map[string]float64
 // is played against the same opponents and results are deterministic.
 // Explorers memoise on top of this (see core.HillClimb), so a point is
 // simulated at most once per search.
-func Objective(d Domain, w Weights, cfg Config) (core.Objective, error) {
+//
+// With a non-nil cache, every raw (measure, point) score is looked up
+// before it is simulated and recorded after — so a revisited neighbour
+// is free not just within one search (core's explorers already memoise
+// that) but across searches, restarts and processes sharing a
+// persistent store. Concurrent evaluations of one score deduplicate
+// through the cache's singleflight. The blend weights are deliberately
+// not part of the cache key: the cache holds raw measure values, so
+// one warmed cache serves every weighting of the same measures.
+func Objective(d Domain, w Weights, cfg Config, c ScoreCache) (core.Objective, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -41,6 +50,30 @@ func Objective(d Domain, w Weights, cfg Config) (core.Objective, error) {
 		}
 	}
 	opponents := d.SampleOpponents(cfg)
+	var keyer *ScoreKeyer
+	if c != nil {
+		var err error
+		if keyer, err = NewScoreKeyer(d, opponents, cfg); err != nil {
+			return nil, err
+		}
+	}
+	rawScore := func(m string, p core.Point) (float64, error) {
+		compute := func() (float64, error) {
+			vals, err := d.ScoreSlice(m, []core.Point{p}, opponents, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return vals[0], nil
+		}
+		if c == nil {
+			return compute()
+		}
+		id, err := d.PointID(p)
+		if err != nil {
+			return 0, err
+		}
+		return c.GetOrCompute(keyer.Key(m, id), compute)
+	}
 	return func(p core.Point) (float64, error) {
 		var sum float64
 		// Iterate in canonical measure order, not map order: float
@@ -50,11 +83,11 @@ func Objective(d Domain, w Weights, cfg Config) (core.Objective, error) {
 			if !ok || wt == 0 {
 				continue
 			}
-			vals, err := d.ScoreSlice(m, []core.Point{p}, opponents, cfg)
+			v, err := rawScore(m, p)
 			if err != nil {
 				return 0, err
 			}
-			sum += wt * vals[0]
+			sum += wt * v
 		}
 		return sum, nil
 	}, nil
@@ -62,9 +95,11 @@ func Objective(d Domain, w Weights, cfg Config) (core.Objective, error) {
 
 // HillClimb runs the Section 7 steepest-ascent explorer on a domain
 // against a measure-weight blend. It returns the best evaluation and
-// the number of objective calls (points actually simulated).
-func HillClimb(d Domain, w Weights, cfg Config, hcfg core.HillClimbConfig) (core.Evaluation, int, error) {
-	obj, err := Objective(d, w, cfg)
+// the number of objective calls (points actually simulated). A non-nil
+// cache memoises raw scores across searches and processes (see
+// Objective); results are identical with and without one.
+func HillClimb(d Domain, w Weights, cfg Config, hcfg core.HillClimbConfig, c ScoreCache) (core.Evaluation, int, error) {
+	obj, err := Objective(d, w, cfg, c)
 	if err != nil {
 		return core.Evaluation{}, 0, err
 	}
@@ -72,9 +107,11 @@ func HillClimb(d Domain, w Weights, cfg Config, hcfg core.HillClimbConfig) (core
 }
 
 // Evolve runs the Section 7 evolutionary explorer on a domain against a
-// measure-weight blend.
-func Evolve(d Domain, w Weights, cfg Config, ecfg core.EvolveConfig) (core.Evaluation, int, error) {
-	obj, err := Objective(d, w, cfg)
+// measure-weight blend. A non-nil cache memoises raw scores across
+// searches and processes (see Objective); results are identical with
+// and without one.
+func Evolve(d Domain, w Weights, cfg Config, ecfg core.EvolveConfig, c ScoreCache) (core.Evaluation, int, error) {
+	obj, err := Objective(d, w, cfg, c)
 	if err != nil {
 		return core.Evaluation{}, 0, err
 	}

@@ -1,0 +1,406 @@
+package dsa_test
+
+// Explorer coverage promised by the caching PR: determinism under a
+// fixed seed, identical results with and without a score cache (with a
+// warm cache running zero simulations), error propagation when
+// ScoreSlice fails mid-exploration, and the cache-key sensitivity
+// rules ("a mismatched anything is a miss, never a wrong hit").
+//
+// Everything runs on a small in-test fake domain rather than the real
+// simulators: the properties under test are engine properties, and the
+// fake gives exact control over scores, call counts and failures.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dsa"
+)
+
+// fakeDomain is a tiny two-dimensional space with synthetic scores:
+// deterministic functions of (measure, point ID, seed), never of slice
+// composition — the same contract real domains honour.
+type fakeDomain struct {
+	name     string
+	version  int          // reported via ScoreVersion
+	space    *core.Space
+	index    map[string]int
+	points   []core.Point
+	calls    atomic.Int64 // ScoreSlice invocations (not points)
+	failFrom int64        // fail every call after this many (0 = never fail)
+}
+
+func newFakeDomain(t *testing.T) *fakeDomain {
+	t.Helper()
+	space, err := core.NewSpace("fake", []core.Dimension{
+		{Name: "x", Values: []string{"a", "b", "c", "d"}},
+		{Name: "y", Values: []string{"p", "q", "r"}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &fakeDomain{name: "fake-explore", space: space, index: map[string]int{}}
+	d.points = space.Enumerate()
+	for i, p := range d.points {
+		d.index[p.Key()] = i
+	}
+	return d
+}
+
+func (d *fakeDomain) Name() string       { return d.name }
+func (d *fakeDomain) Space() *core.Space { return d.space }
+func (d *fakeDomain) ScoreVersion() int  { return d.version }
+
+func (d *fakeDomain) PointID(p core.Point) (int, error) {
+	id, ok := d.index[p.Key()]
+	if !ok {
+		return 0, fmt.Errorf("fake: unknown point %v", p)
+	}
+	return id, nil
+}
+
+func (d *fakeDomain) PointByID(id int) (core.Point, error) {
+	if id < 0 || id >= len(d.points) {
+		return nil, fmt.Errorf("fake: id %d out of range", id)
+	}
+	return d.points[id], nil
+}
+
+func (d *fakeDomain) Label(p core.Point) string { return p.Key() }
+func (d *fakeDomain) Measures() []string        { return []string{"alpha", "beta"} }
+
+func (d *fakeDomain) DefaultConfig(string) (dsa.Config, error) {
+	return fakeCfg(), nil
+}
+
+func fakeCfg() dsa.Config {
+	return dsa.Config{Peers: 4, Rounds: 2, PerfRuns: 1, EncounterRuns: 1, Opponents: 3, Seed: 11}
+}
+
+func (d *fakeDomain) SampleOpponents(cfg dsa.Config) []core.Point {
+	return dsa.SamplePanel(d.space.Enumerate(), cfg.Opponents, cfg.Seed)
+}
+
+var errFakeScore = errors.New("fake: simulator blew up")
+
+func (d *fakeDomain) ScoreSlice(measure string, pts, opponents []core.Point, cfg dsa.Config) ([]float64, error) {
+	n := d.calls.Add(1)
+	if d.failFrom > 0 && n > d.failFrom {
+		return nil, errFakeScore
+	}
+	kind := 1
+	if measure == "beta" {
+		kind = 2
+	}
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		id, err := d.PointID(p)
+		if err != nil {
+			return nil, err
+		}
+		// Point-identity seeding, like the real domains.
+		out[i] = float64(dsa.TaskSeed(cfg.Seed, id, 0, 0, kind)%1000) / 1000
+	}
+	return out, nil
+}
+
+func (d *fakeDomain) Assemble(pts []core.Point, raw map[string][]float64) (*dsa.Scores, error) {
+	return &dsa.Scores{Domain: d.name, Points: pts, Raw: raw, Values: raw}, nil
+}
+
+func fakeWeights() dsa.Weights { return dsa.Weights{"alpha": 1, "beta": 0.5} }
+
+func TestHillClimbDeterministicUnderFixedSeed(t *testing.T) {
+	d := newFakeDomain(t)
+	hcfg := core.HillClimbConfig{Restarts: 3, MaxSteps: 20, Seed: 42}
+	best1, calls1, err := dsa.HillClimb(d, fakeWeights(), fakeCfg(), hcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls1 <= 0 {
+		t.Fatalf("hill climb made %d objective calls", calls1)
+	}
+	best2, calls2, err := dsa.HillClimb(d, fakeWeights(), fakeCfg(), hcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(best1, best2) || calls1 != calls2 {
+		t.Fatalf("hill climb not deterministic: (%v, %d) vs (%v, %d)", best1, calls1, best2, calls2)
+	}
+}
+
+func TestEvolveDeterministicUnderFixedSeed(t *testing.T) {
+	d := newFakeDomain(t)
+	ecfg := core.EvolveConfig{Population: 6, Generations: 4, Seed: 42}
+	best1, _, err := dsa.Evolve(d, fakeWeights(), fakeCfg(), ecfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best2, _, err := dsa.Evolve(d, fakeWeights(), fakeCfg(), ecfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(best1, best2) {
+		t.Fatalf("evolve not deterministic: %v vs %v", best1, best2)
+	}
+}
+
+// TestExplorersCacheParity: results are identical with no cache, a
+// cold cache and a warm cache — and the warm run simulates nothing.
+func TestExplorersCacheParity(t *testing.T) {
+	hcfg := core.HillClimbConfig{Restarts: 3, MaxSteps: 20, Seed: 42}
+	ecfg := core.EvolveConfig{Population: 6, Generations: 4, Seed: 42}
+
+	bare := newFakeDomain(t)
+	hcBare, _, err := dsa.HillClimb(bare, fakeWeights(), fakeCfg(), hcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evBare, _, err := dsa.Evolve(bare, fakeWeights(), fakeCfg(), ecfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := cache.Open(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	cold := newFakeDomain(t)
+	hcCold, _, err := dsa.HillClimb(cold, fakeWeights(), fakeCfg(), hcfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hcBare, hcCold) {
+		t.Fatalf("cold cache changed hill climb: %v vs %v", hcBare, hcCold)
+	}
+	if cold.calls.Load() == 0 {
+		t.Fatal("cold run should simulate")
+	}
+
+	warm := newFakeDomain(t)
+	hcWarm, _, err := dsa.HillClimb(warm, fakeWeights(), fakeCfg(), hcfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hcBare, hcWarm) {
+		t.Fatalf("warm cache changed hill climb: %v vs %v", hcBare, hcWarm)
+	}
+	if n := warm.calls.Load(); n != 0 {
+		t.Fatalf("warm hill climb ran %d simulations, want 0", n)
+	}
+
+	// Evolve visits a superset of points; it shares the same raw-score
+	// cache (weights are not part of the key), so its warm run only
+	// simulates points the climb never touched — and a second warm run
+	// simulates nothing at all.
+	evWarm, _, err := dsa.Evolve(warm, fakeWeights(), fakeCfg(), ecfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evBare, evWarm) {
+		t.Fatalf("cache changed evolve: %v vs %v", evBare, evWarm)
+	}
+	warm.calls.Store(0)
+	if _, _, err := dsa.Evolve(warm, fakeWeights(), fakeCfg(), ecfg, store); err != nil {
+		t.Fatal(err)
+	}
+	if n := warm.calls.Load(); n != 0 {
+		t.Fatalf("second warm evolve ran %d simulations, want 0", n)
+	}
+}
+
+// TestScoreSliceErrorMidExploration: a simulator failure partway
+// through a search surfaces as the explorer's error — with and without
+// a cache — and the failure is not cached, so a recovered simulator
+// succeeds on retry.
+func TestScoreSliceErrorMidExploration(t *testing.T) {
+	hcfg := core.HillClimbConfig{Restarts: 3, MaxSteps: 20, Seed: 42}
+
+	d := newFakeDomain(t)
+	d.failFrom = 3 // a few evaluations succeed, then the simulator dies
+	if _, _, err := dsa.HillClimb(d, fakeWeights(), fakeCfg(), hcfg, nil); !errors.Is(err, errFakeScore) {
+		t.Fatalf("hill climb error = %v, want the simulator failure", err)
+	}
+	if _, _, err := dsa.Evolve(d, fakeWeights(), fakeCfg(), core.EvolveConfig{Population: 6, Generations: 4, Seed: 42}, nil); !errors.Is(err, errFakeScore) {
+		t.Fatalf("evolve error = %v, want the simulator failure", err)
+	}
+
+	store, err := cache.Open(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	cached := newFakeDomain(t)
+	cached.failFrom = 3
+	if _, _, err := dsa.HillClimb(cached, fakeWeights(), fakeCfg(), hcfg, store); !errors.Is(err, errFakeScore) {
+		t.Fatalf("cached hill climb error = %v, want the simulator failure", err)
+	}
+	// The simulator recovers; the failed evaluations must re-run (an
+	// error that got cached would resurface here as a wrong value or
+	// a repeat failure).
+	cached.failFrom = 0
+	best, _, err := dsa.HillClimb(cached, fakeWeights(), fakeCfg(), hcfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := dsa.HillClimb(newFakeDomain(t), fakeWeights(), fakeCfg(), hcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(best, ref) {
+		t.Fatalf("post-recovery result %v differs from reference %v", best, ref)
+	}
+}
+
+// TestScoreKeyerSensitivity pins the invalidation rules: every
+// score-relevant input changes the key; the speed-only knob does not.
+func TestScoreKeyerSensitivity(t *testing.T) {
+	d := newFakeDomain(t)
+	cfg := fakeCfg()
+	opponents := d.SampleOpponents(cfg)
+	baseKeyer, err := dsa.NewScoreKeyer(d, opponents, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := baseKeyer.Key("alpha", 1)
+
+	keyWith := func(name string, mutate func(d *fakeDomain, cfg *dsa.Config, opps *[]core.Point, measure *string, id *int)) dsa.CacheKey {
+		t.Helper()
+		d2 := newFakeDomain(t)
+		cfg2 := fakeCfg()
+		opps2 := opponents
+		measure, id := "alpha", 1
+		mutate(d2, &cfg2, &opps2, &measure, &id)
+		k, err := dsa.NewScoreKeyer(d2, opps2, cfg2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return k.Key(measure, id)
+	}
+
+	same := keyWith("identical", func(*fakeDomain, *dsa.Config, *[]core.Point, *string, *int) {})
+	if same != base {
+		t.Fatal("identical context should derive identical keys")
+	}
+	workers := keyWith("workers", func(_ *fakeDomain, c *dsa.Config, _ *[]core.Point, _ *string, _ *int) { c.Workers = 9 })
+	if workers != base {
+		t.Fatal("Workers is speed-only and must not change the key")
+	}
+
+	differs := map[string]dsa.CacheKey{
+		"measure":        keyWith("measure", func(_ *fakeDomain, _ *dsa.Config, _ *[]core.Point, m *string, _ *int) { *m = "beta" }),
+		"point id":       keyWith("point id", func(_ *fakeDomain, _ *dsa.Config, _ *[]core.Point, _ *string, id *int) { *id = 2 }),
+		"domain name":    keyWith("domain name", func(d *fakeDomain, _ *dsa.Config, _ *[]core.Point, _ *string, _ *int) { d.name = "other" }),
+		"domain version": keyWith("domain version", func(d *fakeDomain, _ *dsa.Config, _ *[]core.Point, _ *string, _ *int) { d.version = 1 }),
+		"seed":           keyWith("seed", func(_ *fakeDomain, c *dsa.Config, _ *[]core.Point, _ *string, _ *int) { c.Seed = 99 }),
+		"peers":          keyWith("peers", func(_ *fakeDomain, c *dsa.Config, _ *[]core.Point, _ *string, _ *int) { c.Peers = 16 }),
+		"rounds":         keyWith("rounds", func(_ *fakeDomain, c *dsa.Config, _ *[]core.Point, _ *string, _ *int) { c.Rounds = 7 }),
+		"perf runs":      keyWith("perf runs", func(_ *fakeDomain, c *dsa.Config, _ *[]core.Point, _ *string, _ *int) { c.PerfRuns = 5 }),
+		"encounter runs": keyWith("encounter runs", func(_ *fakeDomain, c *dsa.Config, _ *[]core.Point, _ *string, _ *int) { c.EncounterRuns = 5 }),
+		"opponents knob": keyWith("opponents knob", func(_ *fakeDomain, c *dsa.Config, _ *[]core.Point, _ *string, _ *int) { c.Opponents = 2 }),
+		"churn":          keyWith("churn", func(_ *fakeDomain, c *dsa.Config, _ *[]core.Point, _ *string, _ *int) { c.Churn = 0.1 }),
+		"panel": keyWith("panel", func(d *fakeDomain, _ *dsa.Config, opps *[]core.Point, _ *string, _ *int) {
+			*opps = d.Space().Enumerate()[:2]
+		}),
+	}
+	seen := map[dsa.CacheKey]string{base: "base"}
+	for name, k := range differs {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("changing %s collided with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestSamplePanelEdges pins the documented edge-size policy (these
+// return values are part of sweep results: changing them would change
+// every score computed against a sampled panel).
+func TestSamplePanelEdges(t *testing.T) {
+	all := []int{10, 20, 30, 40, 50}
+	for _, tc := range []struct {
+		name string
+		n    int
+		want int // -1 = exactly `all`, aliased
+	}{
+		{"zero means full set", 0, -1},
+		{"negative means full set", -5, -1},
+		{"size equals population", 5, -1},
+		{"size exceeds population", 7, -1},
+		{"normal sample", 3, 3},
+		{"single", 1, 1},
+	} {
+		got := dsa.SamplePanel(all, tc.n, 1)
+		if tc.want == -1 {
+			if !reflect.DeepEqual(got, all) {
+				t.Errorf("%s: got %v, want the full set", tc.name, got)
+			}
+			continue
+		}
+		if len(got) != tc.want {
+			t.Errorf("%s: got %d elements, want %d", tc.name, len(got), tc.want)
+		}
+		members := map[int]bool{}
+		for _, v := range all {
+			members[v] = true
+		}
+		for _, v := range got {
+			if !members[v] {
+				t.Errorf("%s: sampled %v which is not in the population", tc.name, v)
+			}
+		}
+	}
+
+	// Empty population: empty result for any requested size, no panic.
+	for _, n := range []int{-1, 0, 1, 10} {
+		if got := dsa.SamplePanel([]int{}, n, 1); len(got) != 0 {
+			t.Errorf("empty population, n=%d: got %v", n, got)
+		}
+	}
+
+	// Determinism and seed sensitivity.
+	a := dsa.SamplePanel(all, 3, 7)
+	b := dsa.SamplePanel(all, 3, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different panels: %v vs %v", a, b)
+	}
+}
+
+// TestTaskSeedEdges: TaskSeed must be total and non-negative for every
+// input — including the negative IDs and run indices a buggy caller
+// might produce — and must actually vary with each identity component.
+func TestTaskSeedEdges(t *testing.T) {
+	inputs := [][5]int64{
+		{0, 0, 0, 0, 0},
+		{-1, -2, -3, -4, -5},
+		{1 << 62, -(1 << 62), 1 << 30, -(1 << 30), 999},
+		{42, 3269, 3268, 9, 500},
+	}
+	for _, in := range inputs {
+		s := dsa.TaskSeed(in[0], int(in[1]), int(in[2]), int(in[3]), int(in[4]))
+		if s < 0 {
+			t.Errorf("TaskSeed%v = %d, want non-negative", in, s)
+		}
+		if again := dsa.TaskSeed(in[0], int(in[1]), int(in[2]), int(in[3]), int(in[4])); again != s {
+			t.Errorf("TaskSeed%v not deterministic: %d vs %d", in, s, again)
+		}
+	}
+	base := dsa.TaskSeed(1, 2, 3, 4, 5)
+	for name, s := range map[string]int64{
+		"master": dsa.TaskSeed(2, 2, 3, 4, 5),
+		"a":      dsa.TaskSeed(1, 9, 3, 4, 5),
+		"b":      dsa.TaskSeed(1, 2, 9, 4, 5),
+		"run":    dsa.TaskSeed(1, 2, 3, 9, 5),
+		"kind":   dsa.TaskSeed(1, 2, 3, 4, 9),
+	} {
+		if s == base {
+			t.Errorf("changing %s did not change the seed", name)
+		}
+	}
+}

@@ -44,6 +44,14 @@ type CoordinatorOptions struct {
 	// CSVs interchangeable with dsa-sweep output) inject them here —
 	// the grid itself stays domain-agnostic.
 	CSV func(w io.Writer, d dsa.Domain, s *dsa.Scores) error
+	// Cache, if non-nil, is the coordinator's cross-job score cache.
+	// Every ingested or checkpoint-restored result feeds it, and every
+	// job draws from it: a task whose per-point scores are all already
+	// known is served as an ingested result (journalled, counted done)
+	// instead of ever being leased — so overlapping jobs, whatever
+	// their chunking, pay for each score once. Stats are served on
+	// GET /v1/cache.
+	Cache dsa.ScoreCache
 }
 
 func (o CoordinatorOptions) leaseTTL() time.Duration {
@@ -70,6 +78,12 @@ type Coordinator struct {
 
 	mu   sync.Mutex
 	jobs map[string]*gridJob
+	// cacheEpoch counts cache-feeding events (ingests, checkpoint
+	// restores). Each job remembers the epoch it last scanned the
+	// cache at, so the pending-task rescan in Lease runs only when
+	// the cache could actually have gained something — not on every
+	// poll of an idle grid.
+	cacheEpoch uint64
 }
 
 type taskStatus int
@@ -101,11 +115,21 @@ type gridJob struct {
 	scores    *dsa.Scores // assembled once complete
 	scoresErr error
 	changed   chan struct{} // closed and replaced on every state change
+
+	// Score-cache plumbing (nil/zero without CoordinatorOptions.Cache):
+	// the job's key derivation context and per-point IDs, the epoch of
+	// its last cache scan, and how many of its tasks the cache served.
+	keyer         *dsa.ScoreKeyer
+	ids           []int // stable point IDs aligned with spec.Points
+	absorbedEpoch uint64
+	cacheServed   int
 }
 
 // NewCoordinator returns an empty coordinator.
 func NewCoordinator(opts CoordinatorOptions) *Coordinator {
-	return &Coordinator{opts: opts, now: time.Now, jobs: map[string]*gridJob{}}
+	// cacheEpoch starts at 1 so a fresh job (absorbedEpoch zero value
+	// 0) always runs its first cache scan, even before any ingest.
+	return &Coordinator{opts: opts, now: time.Now, jobs: map[string]*gridJob{}, cacheEpoch: 1}
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -140,8 +164,8 @@ func (c *Coordinator) AddJob(spec job.Spec) (string, error) {
 	id := jobID(spec.Domain.Name(), specRaw)
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.jobs[id]; ok {
+		c.mu.Unlock()
 		return id, nil
 	}
 	j := &gridJob{
@@ -156,9 +180,25 @@ func (c *Coordinator) AddJob(spec job.Spec) (string, error) {
 		j.order = append(j.order, t.ID())
 		j.tasks[t.ID()] = &taskState{task: t}
 	}
+	if c.opts.Cache != nil {
+		keyer, err := dsa.NewScoreKeyer(spec.Domain, spec.Domain.SampleOpponents(spec.Cfg), spec.Cfg)
+		if err != nil {
+			c.mu.Unlock()
+			return "", err
+		}
+		ids := make([]int, len(spec.Points))
+		for i, p := range spec.Points {
+			if ids[i], err = spec.Domain.PointID(p); err != nil {
+				c.mu.Unlock()
+				return "", err
+			}
+		}
+		j.keyer, j.ids = keyer, ids
+	}
 	if c.opts.Dir != "" {
 		cp, err := job.OpenCheckpoint(filepath.Join(c.opts.Dir, id), spec)
 		if err != nil {
+			c.mu.Unlock()
 			return "", err
 		}
 		j.cp = cp
@@ -170,12 +210,143 @@ func (c *Coordinator) AddJob(spec job.Spec) (string, error) {
 			st.status = taskDone
 			j.results[tid] = vals
 			j.done++
+			c.feedCacheLocked(j, st.task, vals)
 		}
 	}
+	// A restored job's own results never complete its own tasks, but
+	// they must still trigger a scan of *this* job against what other
+	// jobs cached before it arrived.
+	j.absorbedEpoch = 0
 	c.finishIfCompleteLocked(j)
 	c.jobs[id] = j
-	c.logf("grid: job %s registered: %d tasks (%d restored from checkpoint)", id, len(j.order), j.done)
+	restored := j.done
+	c.mu.Unlock()
+	c.logf("grid: job %s registered: %d tasks (%d restored from checkpoint)", id, len(j.order), restored)
+	// Registration is visible before the absorb scan; a concurrent
+	// Lease absorbing the same job is harmless (the epoch gate and
+	// recording flags keep the work single-shot).
+	c.absorbCache(j)
 	return id, nil
+}
+
+// feedCacheLocked records one finished task's per-point scores in the
+// cross-job cache and bumps the epoch so *other* jobs rescan their
+// pending tasks on their next lease. The feeding job itself is marked
+// up to date: one job's tasks partition its (measure, point) pairs, so
+// its own results can never complete another of its own tasks, and
+// counting self-feeds would make every single-job grid rescan all
+// pending tasks after every ingest for nothing.
+func (c *Coordinator) feedCacheLocked(j *gridJob, t job.Task, vals []float64) {
+	if c.opts.Cache == nil || j.keyer == nil || len(vals) != t.Hi-t.Lo {
+		return
+	}
+	for i := t.Lo; i < t.Hi; i++ {
+		c.opts.Cache.Put(j.keyer.Key(t.Measure, j.ids[i]), vals[i-t.Lo])
+	}
+	c.cacheEpoch++
+	j.absorbedEpoch = c.cacheEpoch
+}
+
+// absorbedTask is one task whose values the cache fully supplied,
+// in flight between the locked scan and the locked finalize.
+type absorbedTask struct {
+	st   *taskState
+	vals []float64
+}
+
+// collectCacheHitsLocked scans j's not-yet-done tasks against the
+// cache and claims every full hit (recording=true, exactly like an
+// in-flight ingest, so no lease/upload/second scan races it). The scan
+// is memory-speed (key hashing + LRU/index lookups, no I/O) and is
+// skipped entirely unless the cache gained foreign entries since this
+// job last looked (see cacheEpoch).
+func (c *Coordinator) collectCacheHitsLocked(j *gridJob) []absorbedTask {
+	if c.opts.Cache == nil || j.keyer == nil || j.absorbedEpoch == c.cacheEpoch {
+		return nil
+	}
+	j.absorbedEpoch = c.cacheEpoch
+	if j.done == len(j.order) {
+		return nil
+	}
+	var hits []absorbedTask
+	for _, tid := range j.order {
+		st := j.tasks[tid]
+		if st.status == taskDone || st.recording {
+			continue
+		}
+		t := st.task
+		vals := make([]float64, t.Hi-t.Lo)
+		hit := true
+		for i := t.Lo; i < t.Hi; i++ {
+			v, ok := c.opts.Cache.Get(j.keyer.Key(t.Measure, j.ids[i]))
+			if !ok {
+				hit = false
+				break
+			}
+			vals[i-t.Lo] = v
+		}
+		if hit {
+			st.recording = true
+			hits = append(hits, absorbedTask{st: st, vals: vals})
+		}
+	}
+	return hits
+}
+
+// absorbCache serves every task of j whose per-point scores the cache
+// already holds — journalling each through the checkpoint exactly like
+// an uploaded result, so cache-served and worker-computed tasks are
+// indistinguishable on disk and in the results (determinism makes
+// their values identical by construction). Like Ingest, the journal
+// writes (fsyncs) run outside the coordinator lock: a large absorbed
+// job must not stall every other worker's leases and heartbeats behind
+// a fsync train.
+func (c *Coordinator) absorbCache(j *gridJob) {
+	c.mu.Lock()
+	hits := c.collectCacheHitsLocked(j)
+	c.mu.Unlock()
+	if len(hits) == 0 {
+		return
+	}
+
+	errs := make([]error, len(hits))
+	if j.cp != nil {
+		for i, h := range hits {
+			h := h
+			errs[i] = func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("grid: task %s: checkpoint write panicked: %v", h.st.task.ID(), r)
+					}
+				}()
+				return j.cp.Record(h.st.task, h.vals, 0)
+			}()
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	absorbed := 0
+	for i, h := range hits {
+		h.st.recording = false
+		if errs[i] != nil {
+			// Leave the task pending: a worker will compute and
+			// re-upload it, taking the normal ingest error path.
+			c.logf("grid: job %s: task %s cache absorption failed to journal: %v", j.id, h.st.task.ID(), errs[i])
+			continue
+		}
+		h.st.status = taskDone
+		h.st.worker = ""
+		j.results[h.st.task.ID()] = h.vals
+		j.done++
+		absorbed++
+	}
+	if absorbed > 0 {
+		j.cacheServed += absorbed
+		c.logf("grid: job %s: %d tasks served from the score cache", j.id, absorbed)
+		c.finishIfCompleteLocked(j)
+		c.broadcastLocked(j)
+	}
 }
 
 // Close releases every job's checkpoint handle.
@@ -247,11 +418,18 @@ func (c *Coordinator) finishIfCompleteLocked(j *gridJob) {
 // Lease grants up to max pending tasks to worker.
 func (c *Coordinator) Lease(id, worker string, max int) (LeaseResponse, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	j, err := c.getJob(id)
 	if err != nil {
+		c.mu.Unlock()
 		return LeaseResponse{}, err
 	}
+	c.mu.Unlock()
+	// Serve what the cache already knows before handing out leases:
+	// overlapping jobs ingested since the last scan may have made
+	// whole pending tasks free.
+	c.absorbCache(j)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.expireLocked(j)
 	if max <= 0 || max > c.opts.maxLease() {
 		max = c.opts.maxLease()
@@ -366,9 +544,24 @@ func (c *Coordinator) Ingest(id string, up ResultUpload) (ResultAck, error) {
 	st.worker = ""
 	j.results[up.Task] = []float64(up.Values)
 	j.done++
+	c.feedCacheLocked(j, st.task, []float64(up.Values))
 	c.finishIfCompleteLocked(j)
 	c.broadcastLocked(j)
 	return ResultAck{Accepted: true}, nil
+}
+
+// CacheStats reports the coordinator's score cache counters; ok is
+// false when it runs without a cache. Counter details come from the
+// cache's own Stats (internal/cache.Store provides them); a cache
+// without that method still works, it just reports zeros.
+func (c *Coordinator) CacheStats() (dsa.CacheStats, bool) {
+	if c.opts.Cache == nil {
+		return dsa.CacheStats{}, false
+	}
+	if sp, ok := c.opts.Cache.(interface{ Stats() dsa.CacheStats }); ok {
+		return sp.Stats(), true
+	}
+	return dsa.CacheStats{}, true
 }
 
 // Progress returns a job's live snapshot.
@@ -384,7 +577,7 @@ func (c *Coordinator) Progress(id string) (ProgressSnapshot, error) {
 }
 
 func (c *Coordinator) snapshotLocked(j *gridJob) ProgressSnapshot {
-	snap := ProgressSnapshot{JobID: j.id, Total: len(j.order), Done: j.done, Requeues: j.requeues}
+	snap := ProgressSnapshot{JobID: j.id, Total: len(j.order), Done: j.done, Requeues: j.requeues, CacheTasks: j.cacheServed}
 	workers := map[string]bool{}
 	for _, st := range j.tasks {
 		switch st.status {
@@ -473,7 +666,13 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/results", c.handleUpload)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", c.handleResults)
 	mux.HandleFunc("GET /v1/jobs/{id}/progress", c.handleProgress)
+	mux.HandleFunc("GET /v1/cache", c.handleCacheStats)
 	return mux
+}
+
+func (c *Coordinator) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	stats, enabled := c.CacheStats()
+	writeJSON(w, http.StatusOK, CacheStatsResponse{Enabled: enabled, CacheStats: stats})
 }
 
 // writeJSON marshals before touching the response, so an encoding

@@ -39,6 +39,13 @@
 //	GET  /v1/jobs/{id}/results     — assembled scores (JSON or ?format=csv)
 //	GET  /v1/jobs/{id}/progress    — snapshot, or ?stream=1 for NDJSON
 //	                                 snapshots until the job completes
+//	GET  /v1/cache                 — cross-job score cache counters
+//
+// With CoordinatorOptions.Cache set, the coordinator also memoizes:
+// every ingested result feeds a cross-job content-addressed score
+// cache (internal/cache), and a task whose scores are already known —
+// from a previous job, a checkpoint restore, or an overlapping spec —
+// is served as an ingested result instead of ever being dispatched.
 package grid
 
 import (
@@ -49,6 +56,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dsa"
@@ -191,9 +199,19 @@ type ProgressSnapshot struct {
 	Done     int    `json:"done_tasks"`
 	Leased   int    `json:"leased_tasks"`
 	Pending  int    `json:"pending_tasks"`
-	Requeues int    `json:"requeues"` // leases that expired back to pending
-	Workers  int    `json:"workers"`  // workers holding a live lease
-	Complete bool   `json:"complete"`
+	Requeues   int  `json:"requeues"`    // leases that expired back to pending
+	Workers    int  `json:"workers"`     // workers holding a live lease
+	CacheTasks int  `json:"cache_tasks"` // tasks served from the score cache, never dispatched
+	Complete   bool `json:"complete"`
+}
+
+// CacheStatsResponse is served by GET /v1/cache: the coordinator's
+// cross-job score cache counters (see dsa.CacheStats). Enabled is
+// false when the coordinator runs without a cache — the counters are
+// then all zero.
+type CacheStatsResponse struct {
+	Enabled bool `json:"enabled"`
+	dsa.CacheStats
 }
 
 type errorBody struct {
@@ -202,57 +220,121 @@ type errorBody struct {
 
 // --- HTTP client helpers, shared by the worker, the facade and
 // dsa-report's -coordinator mode. ---
+//
+// Every call is bounded and retried: a request either completes within
+// the client timeout or fails, and transient failures (transport
+// errors, 5xx) back off and retry a few times before surfacing. A hung
+// or briefly unreachable coordinator therefore slows a client down; it
+// can never wedge one forever — callers that pass their own
+// *http.Client keep their own timeout policy, nil callers get
+// DefaultHTTPTimeout.
+
+const (
+	// DefaultHTTPTimeout bounds one request end to end (connect,
+	// request, full response body) for clients that do not inject
+	// their own http.Client. Generous because a result upload can
+	// carry a large task's values; far from infinite because the
+	// default it replaces (http.DefaultClient, no timeout at all)
+	// let a hung coordinator wedge workers and reports forever.
+	DefaultHTTPTimeout = 60 * time.Second
+
+	// clientAttempts and clientRetryBase shape the retry schedule:
+	// attempts at 0, 250ms, 500ms, 1s — enough to ride out a
+	// coordinator restart without masking a real outage for long.
+	clientAttempts  = 4
+	clientRetryBase = 250 * time.Millisecond
+)
+
+// defaultClient returns the client used when callers pass nil.
+func defaultClient() *http.Client {
+	return &http.Client{Timeout: DefaultHTTPTimeout}
+}
 
 func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, url, out)
+	return doJSON(ctx, client, http.MethodGet, url, nil, out)
 }
 
 func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, url, out)
+	return doJSON(ctx, client, http.MethodPost, url, in, out)
 }
 
-func decodeResponse(resp *http.Response, url string, out any) error {
+// doJSON issues one JSON request with bounded retries. Retrying every
+// verb is safe against this API by design: job creation and result
+// upload are idempotent, lease duplicates only cost a lease TTL, and
+// heartbeats are refreshes. Non-retryable failures (4xx — the request
+// itself is wrong) surface immediately.
+func doJSON(ctx context.Context, client *http.Client, method, url string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < clientAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(clientRetryBase << (attempt - 1)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		var reqBody io.Reader
+		if in != nil {
+			reqBody = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, reqBody)
+		if err != nil {
+			return err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err // transport error (refused, reset, timeout): retry
+			continue
+		}
+		retryable, err := decodeResponse(resp, url, out)
+		resp.Body.Close()
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("grid: %s: giving up after %d attempts: %w", url, clientAttempts, lastErr)
+}
+
+// decodeResponse reads and decodes one response, classifying failures:
+// 5xx and body-read errors are transient (retryable), 4xx and
+// malformed-success bodies are not.
+func decodeResponse(resp *http.Response, url string, out any) (retryable bool, err error) {
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return fmt.Errorf("grid: read %s: %w", url, err)
+		return true, fmt.Errorf("grid: read %s: %w", url, err)
 	}
 	if resp.StatusCode/100 != 2 {
+		retryable = resp.StatusCode >= 500
 		var eb errorBody
 		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("grid: %s: %s (HTTP %d)", url, eb.Error, resp.StatusCode)
+			return retryable, fmt.Errorf("grid: %s: %s (HTTP %d)", url, eb.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("grid: %s: HTTP %d", url, resp.StatusCode)
+		return retryable, fmt.Errorf("grid: %s: HTTP %d", url, resp.StatusCode)
 	}
 	if out == nil {
-		return nil
+		return false, nil
 	}
 	if err := json.Unmarshal(raw, out); err != nil {
-		return fmt.Errorf("grid: decode %s: %w", url, err)
+		return false, fmt.Errorf("grid: decode %s: %w", url, err)
 	}
-	return nil
+	return false, nil
 }
 
 func apiURL(base string, parts ...string) string {
@@ -260,10 +342,10 @@ func apiURL(base string, parts ...string) string {
 }
 
 // ListJobs fetches the coordinator's job summaries. A nil client uses
-// http.DefaultClient.
+// a default client with DefaultHTTPTimeout.
 func ListJobs(ctx context.Context, client *http.Client, baseURL string) ([]JobSummary, error) {
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultClient()
 	}
 	var resp jobsResponse
 	if err := getJSON(ctx, client, apiURL(baseURL, "jobs"), &resp); err != nil {
@@ -275,7 +357,7 @@ func ListJobs(ctx context.Context, client *http.Client, baseURL string) ([]JobSu
 // GetJob fetches one job's detail, including its spec payload.
 func GetJob(ctx context.Context, client *http.Client, baseURL, jobID string) (JobDetail, error) {
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultClient()
 	}
 	var d JobDetail
 	err := getJSON(ctx, client, apiURL(baseURL, "jobs", jobID), &d)
@@ -287,11 +369,22 @@ func GetJob(ctx context.Context, client *http.Client, baseURL, jobID string) (Jo
 // progress).
 func FetchScores(ctx context.Context, client *http.Client, baseURL, jobID string) (*dsa.Scores, error) {
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultClient()
 	}
 	var w ScoresWire
 	if err := getJSON(ctx, client, apiURL(baseURL, "jobs", jobID, "results"), &w); err != nil {
 		return nil, err
 	}
 	return w.scores(), nil
+}
+
+// FetchCacheStats fetches the coordinator's score cache counters
+// (dsa-report's `cache -coordinator` view).
+func FetchCacheStats(ctx context.Context, client *http.Client, baseURL string) (CacheStatsResponse, error) {
+	if client == nil {
+		client = defaultClient()
+	}
+	var resp CacheStatsResponse
+	err := getJSON(ctx, client, apiURL(baseURL, "cache"), &resp)
+	return resp, err
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dsa"
 	"repro/internal/job"
 )
 
@@ -28,8 +29,16 @@ type WorkerOptions struct {
 	// Poll is the idle wait when no task is available but the job is
 	// not complete (everything is leased to other workers). 0 = 500ms.
 	Poll time.Duration
-	// Client is the HTTP client; nil = http.DefaultClient.
+	// Client is the HTTP client; nil = a client with
+	// DefaultHTTPTimeout, so a hung coordinator can never wedge the
+	// worker forever (requests are also retried with backoff — see
+	// doJSON).
 	Client *http.Client
+	// Cache, if non-nil, memoises raw scores on the worker side:
+	// leased tasks consult it before simulating and record what they
+	// computed (job.ExecOptions.Cache). A worker pointed at a warm
+	// -cache-dir uploads known scores instead of recomputing them.
+	Cache dsa.ScoreCache
 	// Logf, if non-nil, receives worker event logs.
 	Logf func(format string, args ...any)
 }
@@ -58,7 +67,7 @@ func (o WorkerOptions) client() *http.Client {
 	if o.Client != nil {
 		return o.Client
 	}
-	return http.DefaultClient
+	return defaultClient()
 }
 
 // Work runs a worker loop against the coordinator at baseURL: lease →
@@ -175,7 +184,7 @@ func runLease(ctx context.Context, client *http.Client, baseURL, jobID, name str
 		hbWG.Wait()
 	}()
 
-	return job.ExecTasks(ctx, spec, tasks, opts.Workers, func(t job.Task, values []float64, elapsed time.Duration) error {
+	return job.ExecTasks(ctx, spec, tasks, job.ExecOptions{Workers: opts.Workers, Cache: opts.Cache}, func(t job.Task, values []float64, elapsed time.Duration) error {
 		var ack ResultAck
 		err := postJSON(ctx, client, apiURL(baseURL, "jobs", jobID, "results"),
 			ResultUpload{Worker: name, Task: t.ID(), Values: WireFloats(values), ElapsedMS: elapsed.Milliseconds()}, &ack)

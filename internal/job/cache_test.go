@@ -1,0 +1,234 @@
+package job
+
+// The caching correctness bar: with a score cache plugged into the
+// engine, every output stays byte-identical to a cold run — same
+// Scores JSON, same CSV bytes — while a warm run performs zero
+// simulations. The cache is observed through a counting domain
+// wrapper, so "skipped recomputation" is an exact claim about
+// ScoreSlice invocations, not a timing heuristic.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dsa"
+	"repro/internal/gossip"
+)
+
+// countingDomain delegates to a real domain and counts ScoreSlice
+// points actually simulated.
+type countingDomain struct {
+	dsa.Domain
+	points atomic.Int64
+}
+
+func (c *countingDomain) ScoreSlice(measure string, pts, opponents []core.Point, cfg dsa.Config) ([]float64, error) {
+	c.points.Add(int64(len(pts)))
+	return c.Domain.ScoreSlice(measure, pts, opponents, cfg)
+}
+
+func cacheTestSpec(t *testing.T) ([]core.Point, dsa.Config) {
+	t.Helper()
+	all := gossip.Domain().Space().Enumerate()
+	var pts []core.Point
+	for i := 0; i < len(all); i += 16 {
+		pts = append(pts, all[i])
+	}
+	cfg := dsa.Config{Peers: 8, Rounds: 30, PerfRuns: 1, EncounterRuns: 1, Opponents: 3, Seed: 13}
+	return pts, cfg
+}
+
+func scoresJSON(t *testing.T, s *dsa.Scores) string {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func scoresCSV(t *testing.T, d dsa.Domain, s *dsa.Scores) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := dsa.WriteCSV(&buf, d, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCachedSweepByteIdentical: cold-with-cache and warm-with-cache
+// runs produce exactly the bytes an uncached run produces, and the
+// warm run simulates nothing.
+func TestCachedSweepByteIdentical(t *testing.T) {
+	pts, cfg := cacheTestSpec(t)
+	ctx := context.Background()
+
+	want, err := Run(ctx, gossip.Domain(), pts, cfg, Options{Chunk: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := scoresJSON(t, want)
+	wantCSV := scoresCSV(t, gossip.Domain(), want)
+
+	store, err := cache.Open(cache.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	cold := &countingDomain{Domain: gossip.Domain()}
+	coldScores, err := Run(ctx, cold, pts, cfg, Options{Chunk: 4, Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoresJSON(t, coldScores) != wantJSON {
+		t.Fatal("cold cached sweep differs from uncached sweep")
+	}
+	if !bytes.Equal(scoresCSV(t, gossip.Domain(), coldScores), wantCSV) {
+		t.Fatal("cold cached sweep CSV differs from uncached CSV")
+	}
+	if cold.points.Load() == 0 {
+		t.Fatal("cold run should simulate")
+	}
+
+	warm := &countingDomain{Domain: gossip.Domain()}
+	warmScores, err := Run(ctx, warm, pts, cfg, Options{Chunk: 4, Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoresJSON(t, warmScores) != wantJSON {
+		t.Fatal("warm cached sweep differs from uncached sweep")
+	}
+	if !bytes.Equal(scoresCSV(t, gossip.Domain(), warmScores), wantCSV) {
+		t.Fatal("warm cached sweep CSV differs from uncached CSV")
+	}
+	if n := warm.points.Load(); n != 0 {
+		t.Fatalf("warm sweep simulated %d points, want 0", n)
+	}
+	if st := store.Stats(); st.Hits == 0 {
+		t.Fatalf("warm sweep recorded no cache hits: %+v", st)
+	}
+}
+
+// TestOverlappingSweepReusesScores: a sweep of a *subset* of cached
+// points with a *different* chunking hits fully — the cache is keyed
+// per point, so task shapes are irrelevant — and matches its own
+// uncached reference exactly.
+func TestOverlappingSweepReusesScores(t *testing.T) {
+	pts, cfg := cacheTestSpec(t)
+	ctx := context.Background()
+
+	store, err := cache.Open(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := Run(ctx, gossip.Domain(), pts, cfg, Options{Chunk: 4, Cache: store}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sub []core.Point
+	for i := 0; i < len(pts); i += 2 {
+		sub = append(sub, pts[i])
+	}
+	want, err := Run(ctx, gossip.Domain(), sub, cfg, Options{Chunk: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingDomain{Domain: gossip.Domain()}
+	got, err := Run(ctx, counting, sub, cfg, Options{Chunk: 3, Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := counting.points.Load(); n != 0 {
+		t.Fatalf("overlapping sweep simulated %d points, want 0", n)
+	}
+	if scoresJSON(t, got) != scoresJSON(t, want) {
+		t.Fatal("cache-served subset sweep differs from its uncached reference")
+	}
+}
+
+// TestConfigChangeMissesCache: the same points under a different seed
+// must not reuse cached scores — a mismatched config is a miss, never
+// a wrong hit.
+func TestConfigChangeMissesCache(t *testing.T) {
+	pts, cfg := cacheTestSpec(t)
+	ctx := context.Background()
+
+	store, err := cache.Open(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := Run(ctx, gossip.Domain(), pts, cfg, Options{Chunk: 4, Cache: store}); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	want, err := Run(ctx, gossip.Domain(), pts, cfg2, Options{Chunk: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingDomain{Domain: gossip.Domain()}
+	got, err := Run(ctx, counting, pts, cfg2, Options{Chunk: 4, Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counting.points.Load() == 0 {
+		t.Fatal("changed seed must re-simulate, not hit the old seed's scores")
+	}
+	if scoresJSON(t, got) != scoresJSON(t, want) {
+		t.Fatal("re-seeded cached sweep differs from its uncached reference")
+	}
+}
+
+// TestCacheWithResume: cache and checkpoint compose — a resumed sweep
+// over a warm cache restores journalled tasks from the checkpoint,
+// serves the rest from the cache, and still assembles the reference
+// result.
+func TestCacheWithResume(t *testing.T) {
+	pts, cfg := cacheTestSpec(t)
+	ctx := context.Background()
+	want, err := Run(ctx, gossip.Domain(), pts, cfg, Options{Chunk: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := cache.Open(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	// Warm the cache with a no-checkpoint run...
+	if _, err := Run(ctx, gossip.Domain(), pts, cfg, Options{Chunk: 4, Cache: store}); err != nil {
+		t.Fatal(err)
+	}
+	// ...then run the same spec with a checkpoint directory: every
+	// task journals cache-served values; a -resume Load sees a
+	// complete, correct directory.
+	dir := t.TempDir()
+	counting := &countingDomain{Domain: gossip.Domain()}
+	got, err := Run(ctx, counting, pts, cfg, Options{Chunk: 4, Dir: dir, Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := counting.points.Load(); n != 0 {
+		t.Fatalf("checkpointed warm sweep simulated %d points, want 0", n)
+	}
+	if scoresJSON(t, got) != scoresJSON(t, want) {
+		t.Fatal("checkpointed warm sweep differs from reference")
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoresJSON(t, loaded) != scoresJSON(t, want) {
+		t.Fatal("checkpoint written from cache-served tasks loads differently")
+	}
+}

@@ -100,6 +100,13 @@ type Options struct {
 	ShardIndex int    // this process's shard in [0,Shards)
 	Chunk      int    // points per task; 0 = DefaultChunk
 	Workers    int    // task-level workers; 0 = Cfg.Workers or GOMAXPROCS
+	// Cache, if non-nil, memoises raw scores across runs: every task
+	// consults it per point before simulating and records what it
+	// computed (see dsa.ScoreCache and internal/cache). Values are
+	// identical with or without a cache — the cache key covers
+	// everything a score is a function of, so a stale or foreign
+	// entry is a miss, never a wrong hit.
+	Cache dsa.ScoreCache
 	// Progress, if non-nil, is called after every completed task.
 	// Calls are serialized (never concurrent), but may come from any
 	// worker goroutine; keep the callback fast — it blocks result
@@ -200,7 +207,7 @@ func runPool(ctx context.Context, spec Spec, mine []Task, cp *checkpoint, result
 		mu    sync.Mutex
 		fresh int
 	)
-	return ExecTasks(ctx, spec, mine, opts.Workers, func(t Task, vals []float64, elapsed time.Duration) error {
+	return ExecTasks(ctx, spec, mine, ExecOptions{Workers: opts.Workers, Cache: opts.Cache}, func(t Task, vals []float64, elapsed time.Duration) error {
 		// The checkpoint write (with its fsyncs) runs concurrently
 		// across pool workers — record has its own manifest lock; only
 		// the in-memory bookkeeping and the Progress callback (whose
@@ -231,19 +238,32 @@ func runPool(ctx context.Context, spec Spec, mine []Task, cp *checkpoint, result
 	})
 }
 
+// ExecOptions controls one ExecTasks invocation.
+type ExecOptions struct {
+	// Workers is the pool width; <= 0 falls back to spec.Cfg.Workers,
+	// then GOMAXPROCS.
+	Workers int
+	// Cache, if non-nil, is consulted per point before ScoreSlice runs
+	// and filled with what ScoreSlice computed. A task whose points
+	// all hit skips simulation entirely; a partial hit simulates only
+	// the missing points (safe because ScoreSlice seeds from point
+	// identity — any subset recombines exactly).
+	Cache dsa.ScoreCache
+}
+
 // ExecTasks computes tasks on a bounded worker pool — the execution
 // primitive shared by the local engine (Run) and the grid worker
 // (internal/grid), so both parallelise a task batch identically. Each
-// task's values come from the domain's ScoreSlice and are handed to
-// sink. Sink is called concurrently from the pool's goroutines (so
-// slow sinks — fsyncs, uploads — overlap with computation and each
-// other) and must be safe for concurrent use; the first sink or task
-// error stops the pool. workers <= 0 falls back to spec.Cfg.Workers,
-// then GOMAXPROCS.
-func ExecTasks(ctx context.Context, spec Spec, tasks []Task, workers int, sink func(t Task, values []float64, elapsed time.Duration) error) error {
+// task's values come from the domain's ScoreSlice (or the cache, see
+// ExecOptions.Cache) and are handed to sink. Sink is called
+// concurrently from the pool's goroutines (so slow sinks — fsyncs,
+// uploads — overlap with computation and each other) and must be safe
+// for concurrent use; the first sink or task error stops the pool.
+func ExecTasks(ctx context.Context, spec Spec, tasks []Task, opts ExecOptions, sink func(t Task, values []float64, elapsed time.Duration) error) error {
 	if len(tasks) == 0 {
 		return ctx.Err()
 	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = spec.Cfg.Workers
 	}
@@ -258,6 +278,17 @@ func ExecTasks(ctx context.Context, spec Spec, tasks []Task, workers int, sink f
 	taskCfg := spec.Cfg
 	taskCfg.Workers = max(1, workers/poolSize)
 	opponents := spec.Domain.SampleOpponents(spec.Cfg)
+	var keyer *dsa.ScoreKeyer
+	if opts.Cache != nil {
+		// Key on spec.Cfg, not taskCfg: the keyer hashes only the
+		// score-relevant fields and the two differ in Workers alone,
+		// but keying on the canonical config keeps that invariant
+		// independent of how the pool splits parallelism.
+		var err error
+		if keyer, err = dsa.NewScoreKeyer(spec.Domain, opponents, spec.Cfg); err != nil {
+			return fmt.Errorf("job: score cache key: %w", err)
+		}
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -284,7 +315,7 @@ func ExecTasks(ctx context.Context, spec Spec, tasks []Task, workers int, sink f
 					return
 				}
 				taskStart := time.Now()
-				vals, err := spec.Domain.ScoreSlice(t.Measure, spec.Points[t.Lo:t.Hi], opponents, taskCfg)
+				vals, err := execTask(spec, t, opponents, taskCfg, keyer, opts.Cache)
 				if err != nil {
 					fail(fmt.Errorf("job: task %s: %w", t.ID(), err))
 					return
@@ -310,6 +341,56 @@ feed:
 		return firstEr
 	}
 	return ctx.Err()
+}
+
+// execTask produces one task's values: straight from ScoreSlice
+// without a cache; with one, cached points are read back and only the
+// misses are simulated (as a single ScoreSlice call over the miss
+// subset — point-identity seeding makes the recombination exact), then
+// recorded. Cached and computed values are byte-identical by the
+// domain determinism contract, which the parity tests pin down.
+func execTask(spec Spec, t Task, opponents []core.Point, cfg dsa.Config, keyer *dsa.ScoreKeyer, cache dsa.ScoreCache) ([]float64, error) {
+	pts := spec.Points[t.Lo:t.Hi]
+	if cache == nil {
+		return spec.Domain.ScoreSlice(t.Measure, pts, opponents, cfg)
+	}
+	keys := make([]dsa.CacheKey, len(pts))
+	vals := make([]float64, len(pts))
+	miss := make([]int, 0, len(pts))
+	for i, p := range pts {
+		id, err := spec.Domain.PointID(p)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = keyer.Key(t.Measure, id)
+		if v, ok := cache.Get(keys[i]); ok {
+			vals[i] = v
+		} else {
+			miss = append(miss, i)
+		}
+	}
+	if len(miss) == 0 {
+		return vals, nil
+	}
+	missPts := pts
+	if len(miss) < len(pts) {
+		missPts = make([]core.Point, len(miss))
+		for j, i := range miss {
+			missPts[j] = pts[i]
+		}
+	}
+	computed, err := spec.Domain.ScoreSlice(t.Measure, missPts, opponents, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(computed) != len(missPts) {
+		return nil, fmt.Errorf("job: ScoreSlice returned %d values for %d points", len(computed), len(missPts))
+	}
+	for j, i := range miss {
+		vals[i] = computed[j]
+		cache.Put(keys[i], computed[j])
+	}
+	return vals, nil
 }
 
 // AssembleScores stitches per-task value slices (task ID → values)

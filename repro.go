@@ -22,6 +22,9 @@
 //     must provide for the generic engine layers to run it.
 //   - internal/job       — the sharded, checkpointed sweep engine; it
 //     executes any Domain.
+//   - internal/cache     — the content-addressed score cache: memoizes
+//     raw scores across sweeps, explorers and grid jobs (see
+//     OpenScoreCache / SweepOptions.Cache).
 //   - internal/grid      — the HTTP coordinator/worker grid: a sweep
 //     served as leased tasks to workers on any machines, survivable
 //     under worker failure (see ServeGrid / GridSweep).
@@ -40,6 +43,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/design"
 	"repro/internal/dsa"
@@ -159,6 +163,22 @@ func RunSweepContext(ctx context.Context, d Domain, points []SpacePoint, cfg Swe
 // without running any simulation.
 func LoadSweep(dir string) (*DomainScores, error) { return job.Load(dir) }
 
+// ScoreCache memoises raw (measure, point) scores across sweeps,
+// explorers and grid jobs. Plug one into SweepOptions.Cache (or the
+// explorers in internal/dsa): outputs stay byte-identical, repeated
+// work disappears.
+type ScoreCache = cache.Store
+
+// ScoreCacheStats is the observability snapshot of a ScoreCache.
+type ScoreCacheStats = cache.Stats
+
+// OpenScoreCache opens (or creates) a persistent content-addressed
+// score cache in dir; "" opens a memory-only cache. Any number of
+// processes may share one directory. Close it when done.
+func OpenScoreCache(dir string) (*ScoreCache, error) {
+	return cache.Open(cache.Options{Dir: dir})
+}
+
 // GridOptions configures ServeGrid.
 type GridOptions struct {
 	Dir      string               // checkpoint root; "" keeps results in memory only
@@ -170,6 +190,10 @@ type GridOptions struct {
 	// workers can fetch the assembled scores before the server goes
 	// away. 0 = 2s; negative = shut down immediately.
 	Linger time.Duration
+	// Cache, if non-nil, is the coordinator's cross-job score cache:
+	// ingested results feed it, and tasks whose scores it already
+	// holds are served without being dispatched.
+	Cache *ScoreCache
 }
 
 // ServeGrid starts a grid coordinator on addr serving the sweep of d
@@ -179,9 +203,13 @@ type GridOptions struct {
 // `dsa-grid work -coordinator http://<addr>`; any of them may die
 // mid-sweep, their expired leases are re-run elsewhere.
 func ServeGrid(ctx context.Context, addr string, d Domain, points []SpacePoint, cfg SweepConfig, opts GridOptions) (*DomainScores, error) {
-	coord := grid.NewCoordinator(grid.CoordinatorOptions{
+	coordOpts := grid.CoordinatorOptions{
 		Dir: opts.Dir, LeaseTTL: opts.LeaseTTL, Logf: opts.Logf, CSV: exp.WriteDomainCSV,
-	})
+	}
+	if opts.Cache != nil {
+		coordOpts.Cache = opts.Cache
+	}
+	coord := grid.NewCoordinator(coordOpts)
 	defer coord.Close()
 	id, err := coord.AddJob(job.Spec{Domain: d, Points: points, Cfg: cfg, Chunk: opts.Chunk})
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	cachepkg "repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cyclesim"
+	"repro/internal/cyclesim/refsim"
 	"repro/internal/design"
 	"repro/internal/dsa"
 	"repro/internal/exp"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/pra"
 	"repro/internal/swarm"
+	"repro/internal/swarm/refswarm"
 )
 
 // benchCfg is the reduced PRA configuration shared by the figure
@@ -286,6 +288,96 @@ func BenchmarkSwarmRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
 		if _, err := swarm.Run(clients, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// tournamentBench is the shared setup of the cold tournament-sweep
+// pair below: a deterministic robustness tournament (4 protocols × 6
+// opponents, paper-scale rounds, single worker so the optimized /
+// reference ratio measures the simulator, not the scheduler). "Cold"
+// means every score is simulated — no PR 4 cache — which is the
+// regime that bounds sweeps of new design-space regions.
+func tournamentBench() (ps, opponents []design.Protocol, cfg pra.Config) {
+	ps = []design.Protocol{
+		design.BitTorrent(), design.SortS(), design.MostRobustCandidate(), design.Freerider(),
+	}
+	opponents = []design.Protocol{
+		design.BitTorrent(), design.Birds(), design.SortS(),
+		design.LoyalWhenNeeded(), design.SortRandom(), design.Freerider(),
+	}
+	cfg = pra.Config{Peers: 30, Rounds: 200, PerfRuns: 1, EncounterRuns: 1, Seed: 1, Workers: 1}
+	return ps, opponents, cfg
+}
+
+// BenchmarkTournamentCold measures the optimized cold tournament sweep
+// — the hot path of every uncached PRA quantification.
+// scripts/perf_smoke.sh (run in CI) divides
+// BenchmarkTournamentColdReference by this and enforces the >= 2x
+// floor of the PR 5 headline claim.
+func BenchmarkTournamentCold(b *testing.B) {
+	ps, opponents, cfg := tournamentBench()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pra.TournamentScores(ps, opponents, 0.5, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTournamentColdReference runs the identical tournament
+// against the frozen pre-optimization simulator (refsim), mirroring
+// pra.TournamentScores game for game and seed for seed. The parity
+// suite proves both produce bit-equal camp means; this pair measures
+// only the cost difference.
+func BenchmarkTournamentColdReference(b *testing.B) {
+	ps, opponents, cfg := tournamentBench()
+	dist := bandwidth.Piatek()
+	run := func() {
+		for _, p := range ps {
+			idA := design.ID(p)
+			for _, opp := range opponents {
+				idB := design.ID(opp)
+				if idA == idB {
+					continue
+				}
+				for r := 0; r < cfg.EncounterRuns; r++ {
+					specs, mask := pra.EncounterSpecs(p, opp, cfg.Peers, cfg.Peers/2, dist)
+					res, err := refsim.Run(specs, cyclesim.Options{
+						Rounds:      cfg.Rounds,
+						Seed:        dsa.TaskSeed(cfg.Seed, idA, idB, r, 500),
+						Replacement: dist,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					a := res.GroupMean(func(i int) bool { return mask[i] })
+					bm := res.GroupMean(func(i int) bool { return !mask[i] })
+					_ = a > bm
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkSwarmRunReference is BenchmarkSwarmRun against the frozen
+// pre-optimization swarm (refswarm), the second half of the PR 5 perf
+// trajectory (reported by scripts/perf_smoke.sh, advisory).
+func BenchmarkSwarmRunReference(b *testing.B) {
+	clients := make([]swarm.Client, 50)
+	for i := range clients {
+		clients[i] = swarm.ClientBT
+	}
+	cfg := swarm.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := refswarm.Run(clients, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,6 +16,7 @@
 //
 //	dsa-grid work  -coordinator http://host:8437 [-job ID] [-name ID]
 //	               [-workers N] [-tasks-per-lease N] [-cache-dir DIR]
+//	               [-cpuprofile FILE] [-memprofile FILE]
 //
 // serve registers the sweep (the sweep-shaping flags mirror dsa-sweep)
 // and serves the /v1 API: job listing, task leases, result ingest, and
@@ -37,7 +38,9 @@
 // work runs one worker until the job completes. -workers controls how
 // many tasks it computes in parallel (default: all cores); -cache-dir
 // memoises scores on the worker side, so a re-leased or overlapping
-// task uploads known values instead of recomputing them. Point a
+// task uploads known values instead of recomputing them; -cpuprofile /
+// -memprofile write pprof profiles of the worker's share of the sweep
+// (see the README's "Benchmarking and profiling" guide). Point a
 // report at the grid with:
 //
 //	dsa-report -domain D -coordinator http://host:8437 top
@@ -58,6 +61,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/job"
 	"repro/internal/pra"
+	"repro/internal/profiling"
 
 	// Register the domains this tool can sweep.
 	_ "repro/internal/gossip"
@@ -243,11 +247,18 @@ func runWork(ctx context.Context, args []string) {
 		workers     = fs.Int("workers", 0, "parallel tasks (0 = all cores)")
 		perLease    = fs.Int("tasks-per-lease", 0, "tasks per lease call (0 = coordinator's cap)")
 		cacheDir    = fs.String("cache-dir", "", "worker-side score cache; leased tasks reuse known scores")
+		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of this worker to this file")
+		memProf     = fs.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on completion")
 	)
 	fs.Parse(args)
 	if *coordinator == "" {
 		log.Fatal("work needs -coordinator URL")
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	workOpts := grid.WorkerOptions{
 		Name: *name, Workers: *workers, TasksPerLease: *perLease, Logf: log.Printf,
 	}
@@ -259,13 +270,15 @@ func runWork(ctx context.Context, args []string) {
 		defer store.Close()
 		workOpts.Cache = store
 	}
-	err := grid.Work(ctx, *coordinator, *jobID, workOpts)
+	err = grid.Work(ctx, *coordinator, *jobID, workOpts)
 	switch {
 	case err == nil:
 		log.Printf("job complete")
 	case ctx.Err() != nil:
+		stopProf() // an interrupted worker still leaves a usable profile
 		log.Fatal("interrupted; held leases will expire and re-queue")
 	default:
+		stopProf() // likewise a worker dying on a grid error
 		log.Fatal(err)
 	}
 }

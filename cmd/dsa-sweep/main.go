@@ -9,6 +9,7 @@
 //	          [-seed N] [-out results.csv] [-explore]
 //	          [-checkpoint-dir DIR] [-resume] [-cache-dir DIR]
 //	          [-shards N] [-shard-index I] [-chunk N]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // -domain selects the design space: swarming is the 3270-protocol
 // file-swarming space of Section 4 (the default), gossip the
@@ -47,6 +48,14 @@
 // a score depends on, so changing the seed, config or domain makes
 // entries miss rather than mis-hit. Inspect a cache with
 // `dsa-report -cache-dir DIR cache`.
+//
+// -cpuprofile / -memprofile write pprof profiles of the sweep (the CPU
+// profile covers the whole run; the heap profile is taken after a
+// final GC on clean exit), so perf work on the simulators measures
+// the real workload instead of guessing — see the README's
+// "Benchmarking and profiling" guide. Profiles are written on normal
+// completion, including the shard-incomplete path; a run that dies on
+// a flag or I/O error leaves no usable profile.
 package main
 
 import (
@@ -67,6 +76,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/job"
 	"repro/internal/pra"
+	"repro/internal/profiling"
 
 	// Register the domains this tool can sweep.
 	_ "repro/internal/gossip"
@@ -93,6 +103,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "total shard processes splitting this sweep")
 		shardIdx  = flag.Int("shard-index", 0, "this process's shard in [0,shards)")
 		chunk     = flag.Int("chunk", 0, "points per job task (0 = default)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on completion")
 	)
 	flag.Parse()
 
@@ -143,6 +155,15 @@ func main() {
 	log.Printf("sweeping %d %s points (%s preset, %d peers, %d rounds, %d opponents, shard %d/%d)",
 		len(points), d.Name(), *preset, cfg.Peers, cfg.Rounds, cfg.Opponents, *shardIdx, *shards)
 
+	// Profiles cover everything from here on; stopProf is idempotent
+	// and is called explicitly on the interrupted path too, so a
+	// Ctrl-C'd sweep still leaves a usable CPU profile.
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+
 	var scoreCache *cache.Store
 	if *cacheDir != "" {
 		var err error
@@ -185,14 +206,19 @@ func main() {
 		log.Printf("merge once all shards finish: dsa-report -domain %s -checkpoint %s -out %s merge", d.Name(), *ckptDir, *out)
 		return
 	case errors.Is(err, context.Canceled):
+		stopProf()
 		if *ckptDir != "" {
 			log.Fatalf("interrupted after %v; rerun with -resume -checkpoint-dir %s to continue", time.Since(start).Round(time.Second), *ckptDir)
 		}
 		log.Fatal("interrupted (no -checkpoint-dir, progress lost)")
 	case err != nil:
+		stopProf() // a sweep dying mid-run still leaves a usable profile
 		log.Fatal(err)
 	}
 	log.Printf("sweep done in %v", time.Since(start).Round(time.Second))
+	// The profiles' subject — the sweep — is over; finish them now so
+	// even a failed CSV write cannot discard an hours-long profile.
+	stopProf()
 
 	f, err := os.Create(*out)
 	if err != nil {

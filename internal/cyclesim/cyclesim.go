@@ -33,13 +33,45 @@
 //     capacity draw) in place, keeping the population size constant.
 //
 // Everything is deterministic given Options.Seed.
+//
+// # Performance model
+//
+// This package is the inner loop of the PRA quantification: a single
+// paper-scale sweep runs hundreds of thousands of simulations through
+// Run, so its steady state is engineered to be allocation-free and to
+// avoid O(n²) work that the seed implementation repeated every round:
+//
+//   - Worlds are pooled (see Pool). All O(n²) history slabs survive
+//     across runs; a run reset is O(n) because history validity is
+//     tracked with absolute round stamps rather than cleared buffers —
+//     the round counter keeps increasing across pooled runs (with a
+//     guard gap), so stale stamps from earlier runs can never match.
+//   - Per-round state (planned transfers, zero-byte contacts, current
+//     partner sets) carries a round stamp instead of being cleared:
+//     the seed's three O(n²) clears per round are gone.
+//   - commit visits only the cells actually touched this round
+//     (O(n·(k+h)) rather than O(n²)), in exactly the seed's
+//     (receiver-ascending, giver-ascending) order so every float
+//     accumulates in the same sequence.
+//   - Partner selection uses an alloc-free partial selection sort over
+//     the candidate scratch slice (the comparison key is a strict
+//     total order, so the top-k prefix is identical to the seed's
+//     sort.SliceStable result) instead of a closure-based stable sort
+//     that allocated on every call.
+//
+// The contract for all of this is byte-identity: same RNG draw order,
+// same float operation order, bit-equal Results versus the frozen seed
+// implementation in internal/cyclesim/refsim. The golden-parity suite
+// enforces it; it is what keeps PR 4's content-addressed cache entries
+// and the committed CSVs valid across perf work without a
+// ScoreVersioned bump.
 package cyclesim
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
-	"sort"
 
 	"repro/internal/bandwidth"
 	"repro/internal/design"
@@ -56,10 +88,16 @@ type PeerSpec struct {
 type Options struct {
 	Rounds int     // number of simulation rounds (paper: 500)
 	Seed   int64   // RNG seed; equal seeds give identical runs
-	Churn  float64 // per-peer per-round replacement probability (paper: 0, 0.01, 0.1)
+	Churn  float64 // per-peer per-round replacement probability in [0,1] (paper: 0, 0.01, 0.1)
 	// Replacement supplies capacities for churned-in peers. If nil,
 	// the replacement inherits the departed peer's capacity.
 	Replacement *bandwidth.Distribution
+	// Pool, if non-nil, supplies and receives the run's world state so
+	// repeated runs reuse the O(n²) history slabs instead of
+	// reallocating them. Nil uses a shared package-level pool; pooling
+	// never changes results (see the package comment's byte-identity
+	// contract), only allocation behaviour.
+	Pool *Pool
 }
 
 // Result holds the outcome of one run.
@@ -113,52 +151,113 @@ const aspirationEMA = 0.2
 // in the benchmark suite.
 const stickRounds = 2
 
-// noContact marks a pair that has never interacted.
-const noContact = int32(-1 << 30)
+// never is the stamp value meaning "this cell has no valid history".
+// It is far enough below any reachable round that window arithmetic
+// (round - stamp) cannot overflow int32: rounds are capped at maxRound
+// and maxRound + |never| < 2³¹.
+const never = int32(-1 << 29)
 
-// world carries all mutable state of one run. Buffers are flat n×n
-// row-major slices indexed [receiver*n + giver]; they are allocated
-// once so the round loop is allocation-free.
+// maxRound bounds the absolute round counter. A pooled world whose
+// counter would pass it is retired and replaced by a fresh one; a
+// single run longer than this is rejected up front (the int32 round
+// stamps the seed implementation already used would wrap there too —
+// now it is an explicit error instead of silent corruption).
+const maxRound = 1 << 28
+
+// runGap is the guard gap inserted between the absolute round ranges
+// of consecutive runs on a pooled world. It must exceed every
+// backward-looking window in the model (candidate window + partner
+// stickiness, and the two recv history rounds), so a stamp written by
+// the previous run can never satisfy a window or equality check in the
+// next one.
+const runGap = 16
+
+// world carries all mutable state of one run. History buffers are flat
+// n×n row-major slices indexed [receiver*n + giver] (except give /
+// giveRound / zeroContact, which are [giver*n + receiver], and
+// partnerRound, which is [selector*n + partner]).
+//
+// Validity of every history cell is tracked with absolute round stamps
+// rather than by clearing: a cell's value only counts when its stamp
+// matches the window being asked about. The round counter is monotonic
+// across pooled runs (each run starts runGap past the previous run's
+// last round), which is what makes a pooled world's O(n) reset sound —
+// every stale stamp is simply too old to match.
 type world struct {
 	n     int
 	rng   *rand.Rand
 	specs []PeerSpec
 	caps  []float64
 
-	// recv1/recv2: bytes received in the last and second-to-last round.
-	recv1, recv2 []float64
-	// contact1/contact2: whether the giver contacted the receiver
-	// (possibly with 0 bytes) in the last / second-to-last round.
-	contact1, contact2 []bool
-	// streak counts consecutive rounds the receiver got >0 from giver.
-	streak []int32
 	// asp is the Adaptive ranking's aspiration level per peer.
 	asp []float64
-	// total accumulates received bytes per peer.
+	// total accumulates received bytes per peer; spent accumulates sent.
 	total []float64
-	// spent accumulates sent bytes per peer.
 	spent []float64
 
-	// give is the current round's planned transfer matrix
-	// [giver*n + receiver]; zeroContact marks zero-byte contacts.
-	give        []float64
-	zeroContact []bool
-	// partnerPrev/partnerCur mark [selector*n + partner] pairs chosen
-	// last round / this round. A current partner stays in the candidate
-	// list (at its observed rate, 0 if silent) for up to stickRounds
-	// beyond the candidate window after its last contact, so a peer
-	// with a settled partner rarely goes candidate-less — the bounded
-	// partner-stickiness that lets Sort-S peers "rarely find themselves
-	// without a fully occupied partner set" (Section 4.4) while still
-	// letting persistently silent partners expire, which keeps large
-	// partner sets genuinely hard to sustain (Figure 3's low-k
-	// advantage).
-	partnerPrev, partnerCur []bool
-	// lastContact[i*n+j] is the round index of j's most recent contact
-	// toward i (data or zero-byte), or noContact.
+	// recvLast is the bytes received in round recvLastRound (the
+	// receiver's most recent nonzero round for this giver); recvPrev /
+	// recvPrevRound hold the nonzero round before that. Together they
+	// cover the 2-round candidate window without per-round rotation.
+	recvLast      []float64
+	recvLastRound []int32
+	recvPrev      []float64
+	recvPrevRound []int32
+	// streak counts consecutive rounds the receiver got >0 from giver,
+	// as of the end of round streakRound; a gap breaks the chain by
+	// leaving the stamp behind.
+	streak      []int32
+	streakRound []int32
+	// lastContact is the absolute round of the giver's most recent
+	// contact (data or zero-byte) toward the receiver, or never. The
+	// selection tiebreak reads it; candidacy itself runs on the
+	// contact bitmasks below.
+	//
+	// A pair selected in round r-1 (bit in partnerPrvMask) stays in
+	// the candidate list (at its observed rate, 0 if silent) for up to
+	// stickRounds beyond the candidate window after its last contact,
+	// so a peer with a settled partner rarely goes candidate-less —
+	// the bounded partner-stickiness that lets Sort-S peers "rarely
+	// find themselves without a fully occupied partner set" (Section
+	// 4.4) while still letting persistently silent partners expire,
+	// which keeps large partner sets genuinely hard to sustain
+	// (Figure 3's low-k advantage).
 	lastContact []int32
-	// round is the index of the round currently being simulated.
+
+	// give is the current round's planned transfer matrix
+	// [giver*n + receiver], valid only where giveRound carries the
+	// current round; zeroContact stamps zero-byte contacts the same
+	// way. Neither is ever cleared.
+	give        []float64
+	giveRound   []int32
+	zeroContact []int32
+
+	// touchGiver[r*n : r*n+touchCnt[r]] lists the givers that planned a
+	// transfer or zero-byte contact toward receiver r this round, in
+	// ascending giver order (plan runs givers in index order). commit
+	// walks exactly these cells.
+	touchGiver []int32
+	touchCnt   []int32
+
+	// Contact bitmasks, the candidate-list accelerator: cmCur row i has
+	// bit j set iff giver j contacted receiver i this round (written by
+	// commit); cm1..cm4 are the previous four rounds' masks (rotated at
+	// the top of every step). Because every candidacy condition looks
+	// back at most win+stickRounds (≤ 4) rounds, the candidate set of
+	// the seed's O(n) row scan is exactly the bits of
+	//
+	//	(m1|..|m_win) | (partnerPrev & (m1|..|m_{win+stick}))
+	//
+	// churn clears a departed peer's rows and bits, matching the
+	// seed's history wipe. words is the row stride in uint64 words.
+	words                          int
+	cmCur, cm1, cm2, cm3, cm4      []uint64
+	partnerCurMask, partnerPrvMask []uint64
+
+	// round is the absolute index of the round being simulated; base is
+	// the absolute index of the current run's round 0.
 	round int32
+	base  int32
 
 	// scratch buffers for selection.
 	cand []int
@@ -176,6 +275,12 @@ func Run(peers []PeerSpec, opt Options) (Result, error) {
 	if opt.Rounds < 1 {
 		return Result{}, fmt.Errorf("cyclesim: rounds must be >= 1, got %d", opt.Rounds)
 	}
+	if opt.Rounds > maxRound {
+		return Result{}, fmt.Errorf("cyclesim: rounds must be <= %d, got %d", maxRound, opt.Rounds)
+	}
+	if math.IsNaN(opt.Churn) || opt.Churn < 0 || opt.Churn > 1 {
+		return Result{}, fmt.Errorf("cyclesim: churn must be in [0,1], got %v", opt.Churn)
+	}
 	for i, p := range peers {
 		if err := p.Protocol.Validate(); err != nil {
 			return Result{}, fmt.Errorf("cyclesim: peer %d: %w", i, err)
@@ -184,9 +289,13 @@ func Run(peers []PeerSpec, opt Options) (Result, error) {
 			return Result{}, fmt.Errorf("cyclesim: peer %d has invalid capacity %v", i, p.Capacity)
 		}
 	}
-	w := newWorld(peers, opt.Seed)
+	pool := opt.Pool
+	if pool == nil {
+		pool = &defaultPool
+	}
+	w := pool.get(peers, opt.Seed, opt.Rounds)
 	for r := 0; r < opt.Rounds; r++ {
-		w.round = int32(r)
+		w.round = w.base + int32(r)
 		w.step()
 		if opt.Churn > 0 {
 			w.churn(opt.Churn, opt.Replacement)
@@ -201,40 +310,82 @@ func Run(peers []PeerSpec, opt Options) (Result, error) {
 		res.Utility[i] = w.total[i] / float64(opt.Rounds)
 		res.Spent[i] = w.spent[i] / float64(opt.Rounds)
 	}
+	pool.put(w)
 	return res, nil
 }
 
 func newWorld(peers []PeerSpec, seed int64) *world {
 	n := len(peers)
+	words := (n + 63) / 64
 	w := &world{
-		n:           n,
-		rng:         rand.New(rand.NewSource(seed)),
-		specs:       peers,
-		caps:        make([]float64, n),
-		recv1:       make([]float64, n*n),
-		recv2:       make([]float64, n*n),
-		contact1:    make([]bool, n*n),
-		contact2:    make([]bool, n*n),
-		streak:      make([]int32, n*n),
-		asp:         make([]float64, n),
-		total:       make([]float64, n),
-		spent:       make([]float64, n),
-		give:        make([]float64, n*n),
-		zeroContact: make([]bool, n*n),
-		partnerPrev: make([]bool, n*n),
-		partnerCur:  make([]bool, n*n),
-		lastContact: make([]int32, n*n),
-		cand:        make([]int, 0, n),
-		keys:        make([]float64, n),
+		n:              n,
+		words:          words,
+		rng:            rand.New(rand.NewSource(seed)),
+		specs:          peers,
+		caps:           make([]float64, n),
+		asp:            make([]float64, n),
+		total:          make([]float64, n),
+		spent:          make([]float64, n),
+		recvLast:       make([]float64, n*n),
+		recvLastRound:  make([]int32, n*n),
+		recvPrev:       make([]float64, n*n),
+		recvPrevRound:  make([]int32, n*n),
+		streak:         make([]int32, n*n),
+		streakRound:    make([]int32, n*n),
+		lastContact:    make([]int32, n*n),
+		give:           make([]float64, n*n),
+		giveRound:      make([]int32, n*n),
+		zeroContact:    make([]int32, n*n),
+		touchGiver:     make([]int32, n*n),
+		touchCnt:       make([]int32, n),
+		cmCur:          make([]uint64, n*words),
+		cm1:            make([]uint64, n*words),
+		cm2:            make([]uint64, n*words),
+		cm3:            make([]uint64, n*words),
+		cm4:            make([]uint64, n*words),
+		partnerCurMask: make([]uint64, n*words),
+		partnerPrvMask: make([]uint64, n*words),
+		cand:           make([]int, 0, n),
+		keys:           make([]float64, n),
 	}
 	for i, p := range peers {
 		w.caps[i] = p.Capacity
 		w.asp[i] = p.Capacity
 	}
-	for i := range w.lastContact {
-		w.lastContact[i] = noContact
+	for _, s := range [][]int32{
+		w.recvLastRound, w.recvPrevRound, w.streakRound,
+		w.lastContact, w.giveRound, w.zeroContact,
+	} {
+		for i := range s {
+			s[i] = never
+		}
 	}
 	return w
+}
+
+// reset prepares a pooled world for a fresh run. The O(n²) stamp slabs
+// stay as they are — the new run's round range starts runGap past the
+// old one, so every stale stamp fails every check — and only the
+// per-peer accumulators and the (n²/64-bit) contact masks, which carry
+// no stamps, are actually cleared.
+func (w *world) reset(peers []PeerSpec, seed int64) {
+	w.rng.Seed(seed)
+	w.base = w.round + runGap
+	w.specs = peers
+	for i, p := range peers {
+		w.caps[i] = p.Capacity
+		w.asp[i] = p.Capacity
+		w.total[i] = 0
+		w.spent[i] = 0
+	}
+	for _, m := range [][]uint64{
+		w.cmCur, w.cm1, w.cm2, w.cm3, w.cm4,
+		w.partnerCurMask, w.partnerPrvMask,
+	} {
+		for i := range m {
+			m[i] = 0
+		}
+	}
 }
 
 // slots returns the number of provisioned upload pipes for peer i's
@@ -251,15 +402,35 @@ func slots(p design.Protocol) int {
 // step executes one simultaneous round.
 func (w *world) step() {
 	n := w.n
-	for i := range w.give {
-		w.give[i] = 0
-		w.zeroContact[i] = false
-		w.partnerCur[i] = false
+	// Rotate the contact-mask generations (last round's current mask
+	// becomes generation 1) and the partner masks; recycle the oldest
+	// slab as the new current one. These clears — n²/64 bits each —
+	// are the only per-round wipes left from the seed's three O(n²)
+	// slab clears.
+	w.cmCur, w.cm1, w.cm2, w.cm3, w.cm4 = w.cm4, w.cmCur, w.cm1, w.cm2, w.cm3
+	for i := range w.cmCur {
+		w.cmCur[i] = 0
+	}
+	w.partnerCurMask, w.partnerPrvMask = w.partnerPrvMask, w.partnerCurMask
+	for i := range w.partnerCurMask {
+		w.partnerCurMask[i] = 0
+	}
+	for i := range w.touchCnt {
+		w.touchCnt[i] = 0
 	}
 	for i := 0; i < n; i++ {
 		w.plan(i)
 	}
 	w.commit()
+}
+
+// touch records that giver i planned a transfer or zero-byte contact
+// toward receiver j this round. plan runs givers in ascending index
+// order and touches each (giver, receiver) cell at most once, so the
+// receiver's list stays giver-sorted — the order commit relies on.
+func (w *world) touch(j, i int) {
+	w.touchGiver[j*w.n+int(w.touchCnt[j])] = int32(i)
+	w.touchCnt[j]++
 }
 
 // plan decides peer i's uploads for this round into w.give.
@@ -280,15 +451,19 @@ func (w *world) plan(i int) {
 	slotBW := w.caps[i] / float64(ns)
 
 	selected := w.selectPartners(i, p)
+	row := i * w.words
 	for _, j := range selected {
-		w.partnerCur[i*w.n+j] = true
+		w.partnerCurMask[row+j>>6] |= 1 << (uint(j) & 63)
 	}
 
-	// Partner allocation.
+	// Partner allocation. A planned amount of 0 (zero capacity, or a
+	// zero Prop Share weight) is equivalent to no plan at all — the
+	// seed wrote the 0 into a cleared slab — so only positive amounts
+	// are recorded and touched.
 	switch p.Allocation {
 	case design.EqualSplit:
 		for _, j := range selected {
-			w.give[i*w.n+j] = slotBW
+			w.planGive(i, j, slotBW)
 		}
 	case design.PropShare:
 		var sum float64
@@ -299,7 +474,7 @@ func (w *world) plan(i int) {
 			pool := slotBW * float64(len(selected))
 			for _, j := range selected {
 				wgt := w.windowRecv(i, j, p.Candidate.Window())
-				w.give[i*w.n+j] = pool * wgt / sum
+				w.planGive(i, j, pool*wgt/sum)
 			}
 		}
 	case design.Freeride:
@@ -325,6 +500,18 @@ func (w *world) plan(i int) {
 	}
 }
 
+// planGive records a positive planned transfer from giver i to
+// receiver j for this round.
+func (w *world) planGive(i, j int, amount float64) {
+	if amount <= 0 {
+		return
+	}
+	idx := i*w.n + j
+	w.give[idx] = amount
+	w.giveRound[idx] = w.round
+	w.touch(j, i)
+}
+
 // contactStrangers picks up to h distinct peers that i did not already
 // plan an upload to (and are not i) and sends each amount (possibly 0,
 // which still registers as a contact).
@@ -340,7 +527,8 @@ func (w *world) contactStrangers(i, h int, amount float64) {
 			if j == i {
 				continue
 			}
-			if w.give[i*n+j] > 0 || w.zeroContact[i*n+j] {
+			idx := i*n + j
+			if (w.giveRound[idx] == w.round && w.give[idx] > 0) || w.zeroContact[idx] == w.round {
 				continue // already serving this peer this round
 			}
 			ok = true
@@ -350,9 +538,10 @@ func (w *world) contactStrangers(i, h int, amount float64) {
 			return
 		}
 		if amount > 0 {
-			w.give[i*n+j] = amount
+			w.planGive(i, j, amount)
 		} else {
-			w.zeroContact[i*n+j] = true
+			w.zeroContact[i*n+j] = w.round
+			w.touch(j, i)
 		}
 	}
 }
@@ -366,12 +555,26 @@ func (w *world) selectPartners(i int, p design.Protocol) []int {
 	n := w.n
 	w.cand = w.cand[:0]
 	win := p.Candidate.Window()
-	for j := 0; j < n; j++ {
-		if j == i {
-			continue
+	row := i * n
+	// Candidates: peers that contacted i within the window, plus
+	// sticky partners — pairs selected last round whose most recent
+	// contact is within win+stickRounds. Both conditions are exact
+	// unions of the per-round contact masks (see the field comment),
+	// so the bit scan reproduces the seed's ascending-index row scan.
+	mrow := i * w.words
+	for wi := 0; wi < w.words; wi++ {
+		recent := w.cm1[mrow+wi]
+		if win >= 2 {
+			recent |= w.cm2[mrow+wi]
 		}
-		if w.contacted(i, j, win) ||
-			(w.partnerPrev[i*n+j] && w.round-w.lastContact[i*n+j] <= int32(win+stickRounds)) {
+		sticky := recent | w.cm2[mrow+wi] | w.cm3[mrow+wi]
+		if win >= 2 {
+			sticky |= w.cm4[mrow+wi]
+		}
+		m := recent | (w.partnerPrvMask[mrow+wi] & sticky)
+		for m != 0 {
+			j := wi<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
 			w.cand = append(w.cand, j)
 		}
 	}
@@ -404,7 +607,7 @@ func (w *world) selectPartners(i int, p design.Protocol) []int {
 		}
 	case design.Loyal:
 		for _, j := range w.cand {
-			w.keys[j] = -float64(w.streak[i*n+j])
+			w.keys[j] = -float64(w.streakVal(row + j))
 		}
 	case design.RandomRank:
 		w.rng.Shuffle(len(w.cand), func(a, b int) {
@@ -412,24 +615,25 @@ func (w *world) selectPartners(i int, p design.Protocol) []int {
 		})
 	}
 	if p.Ranking != design.RandomRank {
-		cand := w.cand
-		keys := w.keys
-		lc := w.lastContact
-		sort.SliceStable(cand, func(a, b int) bool {
-			ka, kb := keys[cand[a]], keys[cand[b]]
-			if ka != kb {
-				return ka < kb
+		// Partial selection sort: only the first min(k, len) positions
+		// are needed, and candLess is a strict total order (final
+		// index tiebreak), so this prefix is exactly the prefix the
+		// seed's sort.SliceStable produced — without the per-call
+		// closure and reflection allocations, and in O(k·c) instead of
+		// O(c log c) comparator indirections.
+		limit := len(w.cand)
+		if p.K < limit {
+			limit = p.K
+		}
+		for a := 0; a < limit; a++ {
+			best := a
+			for b := a + 1; b < len(w.cand); b++ {
+				if w.candLess(row, w.cand[b], w.cand[best]) {
+					best = b
+				}
 			}
-			// Ties break toward the most recent contactor — the
-			// "immediately ... chooses p2" recency of Section 4.4 —
-			// then by index for determinism. Recency also spreads
-			// selections uniformly instead of piling onto low indices.
-			la, lb := lc[i*n+cand[a]], lc[i*n+cand[b]]
-			if la != lb {
-				return la > lb
-			}
-			return cand[a] < cand[b]
-		})
+			w.cand[a], w.cand[best] = w.cand[best], w.cand[a]
+		}
 	}
 	if len(w.cand) > p.K {
 		w.cand = w.cand[:p.K]
@@ -437,27 +641,51 @@ func (w *world) selectPartners(i int, p design.Protocol) []int {
 	return w.cand
 }
 
-// contacted reports whether j interacted with i (sent bytes or a
-// zero-byte contact) within the last win rounds.
-func (w *world) contacted(i, j int, win int) bool {
-	idx := i*w.n + j
-	if w.recv1[idx] > 0 || w.contact1[idx] {
-		return true
+// candLess orders candidates x, y of the selector whose matrix row
+// starts at row: by ranking key, then most recent contactor first —
+// the "immediately ... chooses p2" recency of Section 4.4, which also
+// spreads selections uniformly instead of piling onto low indices —
+// then by index for determinism. The index tiebreak makes this a
+// strict total order.
+func (w *world) candLess(row, x, y int) bool {
+	kx, ky := w.keys[x], w.keys[y]
+	if kx != ky {
+		return kx < ky
 	}
-	if win >= 2 && (w.recv2[idx] > 0 || w.contact2[idx]) {
-		return true
+	lx, ly := w.lastContact[row+x], w.lastContact[row+y]
+	if lx != ly {
+		return lx > ly
 	}
-	return false
+	return x < y
 }
 
-// windowRecv returns the bytes i received from j within the window.
+// streakVal returns the live streak for a history cell: the stored
+// count only if it was extended through the previous round, else 0 (a
+// silent round broke the chain by leaving the stamp behind).
+func (w *world) streakVal(idx int) int32 {
+	if w.streakRound[idx] == w.round-1 {
+		return w.streak[idx]
+	}
+	return 0
+}
+
+// windowRecv returns the bytes i received from j within the window,
+// adding the (at most two) stamped history rounds the window covers in
+// the seed's last-then-previous order.
 func (w *world) windowRecv(i, j, win int) float64 {
 	idx := i*w.n + j
-	s := w.recv1[idx]
-	if win >= 2 {
-		s += w.recv2[idx]
+	lr := w.recvLastRound[idx]
+	switch {
+	case lr == w.round-1:
+		s := w.recvLast[idx]
+		if win >= 2 && w.recvPrevRound[idx] == w.round-2 {
+			s += w.recvPrev[idx]
+		}
+		return s
+	case win >= 2 && lr == w.round-2:
+		return w.recvLast[idx]
 	}
-	return s
+	return 0
 }
 
 // windowRate returns j's observed upload rate toward i over the window.
@@ -465,32 +693,50 @@ func (w *world) windowRate(i, j, win int) float64 {
 	return w.windowRecv(i, j, win) / float64(win)
 }
 
-// commit applies the planned transfers: rotates history windows,
-// updates totals, streaks and aspiration levels.
+// commit applies the planned transfers: updates received/streak
+// history, totals and aspiration levels. It walks only the cells
+// touched this round, receiver-major with givers ascending — the same
+// order the seed's full n×n scan accumulated nonzero amounts in, so
+// every float operation sequence is identical (skipped cells only ever
+// contributed exact +0 terms).
 func (w *world) commit() {
 	n := w.n
-	// Rotate: last round becomes second-to-last.
-	w.recv1, w.recv2 = w.recv2, w.recv1
-	w.contact1, w.contact2 = w.contact2, w.contact1
-	w.partnerPrev, w.partnerCur = w.partnerCur, w.partnerPrev
 	for i := 0; i < n; i++ {
+		cnt := int(w.touchCnt[i])
+		if cnt == 0 {
+			// No contacts: got stays 0 (total += 0 is exact identity)
+			// and the aspiration level is untouched, as in the seed.
+			continue
+		}
 		var got, givers float64
-		for j := 0; j < n; j++ {
-			idx := i*n + j
-			amt := w.give[j*n+i]
-			w.recv1[idx] = amt
-			w.contact1[idx] = amt > 0 || w.zeroContact[j*n+i]
-			if w.contact1[idx] {
-				w.lastContact[idx] = w.round
+		row := i * n
+		mrow := i * w.words
+		for _, jg := range w.touchGiver[row : row+cnt] {
+			j := int(jg)
+			gidx := j*n + i
+			var amt float64
+			if w.giveRound[gidx] == w.round {
+				amt = w.give[gidx]
 			}
+			idx := row + j
+			w.lastContact[idx] = w.round
+			w.cmCur[mrow+j>>6] |= 1 << (uint(j) & 63)
 			if amt > 0 {
-				w.streak[idx]++
+				// Rotate this cell's two-round receive window.
+				w.recvPrev[idx] = w.recvLast[idx]
+				w.recvPrevRound[idx] = w.recvLastRound[idx]
+				w.recvLast[idx] = amt
+				w.recvLastRound[idx] = w.round
+				if w.streakRound[idx] == w.round-1 {
+					w.streak[idx]++
+				} else {
+					w.streak[idx] = 1
+				}
+				w.streakRound[idx] = w.round
 				got += amt
 				givers++
-			} else {
-				w.streak[idx] = 0
+				w.spent[j] += amt
 			}
-			w.spent[j] += amt
 		}
 		w.total[i] += got
 		if givers > 0 {
@@ -500,7 +746,8 @@ func (w *world) commit() {
 }
 
 // churn replaces each peer with probability rate: history involving it
-// is cleared and (if dist is non-nil) its capacity is redrawn.
+// is invalidated (stamps pushed to never) and (if dist is non-nil) its
+// capacity is redrawn.
 func (w *world) churn(rate float64, dist *bandwidth.Distribution) {
 	n := w.n
 	for i := 0; i < n; i++ {
@@ -512,13 +759,27 @@ func (w *world) churn(rate float64, dist *bandwidth.Distribution) {
 		}
 		w.asp[i] = w.caps[i]
 		for j := 0; j < n; j++ {
-			w.recv1[i*n+j], w.recv2[i*n+j] = 0, 0
-			w.recv1[j*n+i], w.recv2[j*n+i] = 0, 0
-			w.contact1[i*n+j], w.contact2[i*n+j] = false, false
-			w.contact1[j*n+i], w.contact2[j*n+i] = false, false
-			w.streak[i*n+j], w.streak[j*n+i] = 0, 0
-			w.partnerPrev[i*n+j], w.partnerPrev[j*n+i] = false, false
-			w.lastContact[i*n+j], w.lastContact[j*n+i] = noContact, noContact
+			a, b := i*n+j, j*n+i
+			w.recvLastRound[a], w.recvLastRound[b] = never, never
+			w.recvPrevRound[a], w.recvPrevRound[b] = never, never
+			w.streakRound[a], w.streakRound[b] = never, never
+			w.lastContact[a], w.lastContact[b] = never, never
+		}
+		// Wipe the fresh peer from the contact and partner masks: its
+		// own rows, and its bit in every other peer's rows.
+		masks := [...][]uint64{
+			w.cmCur, w.cm1, w.cm2, w.cm3, w.cm4,
+			w.partnerCurMask, w.partnerPrvMask,
+		}
+		word, bit := i>>6, uint64(1)<<(uint(i)&63)
+		for _, m := range masks {
+			row := m[i*w.words : (i+1)*w.words]
+			for k := range row {
+				row[k] = 0
+			}
+			for r := 0; r < n; r++ {
+				m[r*w.words+word] &^= bit
+			}
 		}
 	}
 }

@@ -1,0 +1,329 @@
+package cyclesim_test
+
+// Golden-parity suite: proves the optimized cyclesim.Run is
+// byte-identical to the frozen seed implementation (refsim) across a
+// committed matrix of protocols × churn rates × population mixes, and
+// that pooling never leaks state between runs.
+//
+// The golden fixtures in testdata/golden_cyclesim.json hold the exact
+// float64 bit patterns refsim produced at freeze time; regenerate with
+//
+//	go test ./internal/cyclesim -run TestGoldenParity -update
+//
+// (which re-runs refsim, NOT the optimized code — the optimized
+// implementation can never define its own truth). Any perf change that
+// alters a single bit here also invalidates the PR 4 cache keys and
+// the committed CSVs, and needs a dsa.ScoreVersioned version bump plus
+// a deliberate fixture regeneration.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/cyclesim"
+	"repro/internal/cyclesim/refsim"
+	"repro/internal/design"
+)
+
+var update = flag.Bool("update", false, "regenerate golden fixtures from the frozen reference implementation")
+
+const goldenPath = "testdata/golden_cyclesim.json"
+
+// goldenCase pins one simulation: the spec is reconstructed from
+// protocol IDs so fixtures survive any refactoring of the design
+// space's Go types (IDs are the stable enumeration order).
+type goldenCase struct {
+	Name        string   `json:"name"`
+	ProtoIDs    []int    `json:"protoIds"` // one per peer
+	Rounds      int      `json:"rounds"`
+	Seed        int64    `json:"seed"`
+	Churn       float64  `json:"churn"`
+	Replacement bool     `json:"replacement"` // churned-in capacities from Piatek
+	UtilityBits []uint64 `json:"utilityBits,omitempty"`
+	SpentBits   []uint64 `json:"spentBits,omitempty"`
+}
+
+// goldenCases builds the committed matrix: every ranking function and
+// allocation policy appears, churn covers the paper's three rates, and
+// the mixed populations exercise the encounter path.
+func goldenCases() []goldenCase {
+	adaptive := design.BitTorrent()
+	adaptive.Ranking = design.Adaptive
+	randomRank := design.BitTorrent()
+	randomRank.Ranking = design.RandomRank
+	sortSProp := design.SortS()
+	sortSProp.Allocation = design.PropShare
+
+	homogeneous := map[string]design.Protocol{
+		"bittorrent":    design.BitTorrent(),
+		"birds":         design.Birds(),
+		"sort-s":        design.SortS(),
+		"loyal-wn":      design.LoyalWhenNeeded(),
+		"most-robust":   design.MostRobustCandidate(),
+		"freerider":     design.Freerider(),
+		"adaptive":      adaptive,
+		"random-rank":   randomRank,
+		"sort-s-propsh": sortSProp,
+	}
+	var cases []goldenCase
+	uniform := func(p design.Protocol, n int) []int {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = design.ID(p)
+		}
+		return ids
+	}
+	// Sorted name order keeps -update regenerations byte-stable, so a
+	// deliberate fixture refresh diffs only the values that moved.
+	sortedNames := func(m map[string]design.Protocol) []string {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return names
+	}
+	for _, name := range sortedNames(homogeneous) {
+		cases = append(cases, goldenCase{
+			Name: "homogeneous/" + name, ProtoIDs: uniform(homogeneous[name], 30), Rounds: 150, Seed: 101,
+		})
+	}
+	churned := map[string]design.Protocol{
+		"bittorrent": design.BitTorrent(), "sort-s": design.SortS(),
+	}
+	for _, churn := range []float64{0.01, 0.1} {
+		for _, name := range sortedNames(churned) {
+			cases = append(cases, goldenCase{
+				Name:     fmt.Sprintf("churn/%s/%v", name, churn),
+				ProtoIDs: uniform(churned[name], 30), Rounds: 150, Seed: 202,
+				Churn: churn, Replacement: true,
+			})
+		}
+	}
+	mix := func(a, b design.Protocol, n, nA int) []int {
+		ids := make([]int, n)
+		for i := range ids {
+			if i < nA {
+				ids[i] = design.ID(a)
+			} else {
+				ids[i] = design.ID(b)
+			}
+		}
+		return ids
+	}
+	cases = append(cases,
+		goldenCase{Name: "mixed/bt-vs-freerider", ProtoIDs: mix(design.BitTorrent(), design.Freerider(), 30, 15), Rounds: 150, Seed: 303},
+		goldenCase{Name: "mixed/sorts-vs-bt", ProtoIDs: mix(design.SortS(), design.BitTorrent(), 30, 15), Rounds: 150, Seed: 304},
+		goldenCase{Name: "mixed/minority-robust", ProtoIDs: mix(design.MostRobustCandidate(), design.BitTorrent(), 30, 3), Rounds: 150, Seed: 305, Churn: 0.01, Replacement: true},
+	)
+	return cases
+}
+
+func (c goldenCase) specs(t *testing.T) []cyclesim.PeerSpec {
+	t.Helper()
+	caps := bandwidth.Piatek().Stratified(len(c.ProtoIDs))
+	specs := make([]cyclesim.PeerSpec, len(c.ProtoIDs))
+	for i, id := range c.ProtoIDs {
+		p, err := design.ByID(id)
+		if err != nil {
+			t.Fatalf("case %s: %v", c.Name, err)
+		}
+		specs[i] = cyclesim.PeerSpec{Protocol: p, Capacity: caps[i]}
+	}
+	return specs
+}
+
+func (c goldenCase) options() cyclesim.Options {
+	opt := cyclesim.Options{Rounds: c.Rounds, Seed: c.Seed, Churn: c.Churn}
+	if c.Replacement {
+		opt.Replacement = bandwidth.Piatek()
+	}
+	return opt
+}
+
+func toBits(vals []float64) []uint64 {
+	out := make([]uint64, len(vals))
+	for i, v := range vals {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+func checkBits(t *testing.T, caseName, what string, got []float64, want []uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %s has %d values, golden has %d", caseName, what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != want[i] {
+			t.Errorf("%s: %s[%d] = %v (bits %#x), golden bits %#x — byte-identity broken",
+				caseName, what, i, got[i], math.Float64bits(got[i]), want[i])
+			return
+		}
+	}
+}
+
+// TestGoldenParity checks three implementations against the committed
+// bit patterns: the frozen reference (guards against accidental edits
+// to refsim), the optimized Run, and the optimized Run on a shared
+// Pool that has already absorbed other runs (guards against state
+// leaking through reuse).
+func TestGoldenParity(t *testing.T) {
+	cases := goldenCases()
+	if *update {
+		for i := range cases {
+			res, err := refsim.Run(cases[i].specs(t), cases[i].options())
+			if err != nil {
+				t.Fatalf("case %s: %v", cases[i].Name, err)
+			}
+			cases[i].UtilityBits = toBits(res.Utility)
+			cases[i].SpentBits = toBits(res.Spent)
+		}
+		buf, err := json.MarshalIndent(cases, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", goldenPath, len(cases))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixtures (run with -update to generate from refsim): %v", err)
+	}
+	var golden []goldenCase
+	if err := json.Unmarshal(buf, &golden); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]goldenCase, len(golden))
+	for _, g := range golden {
+		byName[g.Name] = g
+	}
+	pool := &cyclesim.Pool{} // shared across all cases, absorbing size changes
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			g, ok := byName[c.Name]
+			if !ok {
+				t.Fatalf("case %s missing from golden file; regenerate with -update", c.Name)
+			}
+			specs := c.specs(t)
+
+			ref, err := refsim.Run(specs, c.options())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBits(t, c.Name, "refsim utility", ref.Utility, g.UtilityBits)
+			checkBits(t, c.Name, "refsim spent", ref.Spent, g.SpentBits)
+
+			got, err := cyclesim.Run(specs, c.options())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBits(t, c.Name, "utility", got.Utility, g.UtilityBits)
+			checkBits(t, c.Name, "spent", got.Spent, g.SpentBits)
+
+			opt := c.options()
+			opt.Pool = pool
+			pooled, err := cyclesim.Run(specs, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBits(t, c.Name, "pooled utility", pooled.Utility, g.UtilityBits)
+			checkBits(t, c.Name, "pooled spent", pooled.Spent, g.SpentBits)
+		})
+	}
+}
+
+// TestRandomizedRefsimParity fuzzes the whole design space against the
+// reference: random protocol pairs, population sizes, churn rates
+// (including the 1.0 edge), round counts and pool sharing. Everything
+// must match bit for bit.
+func TestRandomizedRefsimParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pool := &cyclesim.Pool{}
+	trials := 250
+	if testing.Short() {
+		trials = 40
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + rng.Intn(28)
+		a, err := design.ByID(rng.Intn(design.SpaceSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := design.ByID(rng.Intn(design.SpaceSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := bandwidth.Piatek().Stratified(n)
+		specs := make([]cyclesim.PeerSpec, n)
+		for i := range specs {
+			p := a
+			if i%2 == 1 {
+				p = b
+			}
+			specs[i] = cyclesim.PeerSpec{Protocol: p, Capacity: caps[i]}
+		}
+		churn := []float64{0, 0, 0.01, 0.1, 0.5, 1}[rng.Intn(6)]
+		var dist *bandwidth.Distribution
+		if rng.Intn(2) == 0 {
+			dist = bandwidth.Piatek()
+		}
+		opt := cyclesim.Options{Rounds: 1 + rng.Intn(80), Seed: rng.Int63(), Churn: churn, Replacement: dist}
+		ref, err := refsim.Run(specs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optRun := opt
+		if rng.Intn(2) == 0 {
+			optRun.Pool = pool // alternate the shared default pool and an explicit one
+		}
+		got, err := cyclesim.Run(specs, optRun)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Utility {
+			if ref.Utility[i] != got.Utility[i] || ref.Spent[i] != got.Spent[i] {
+				t.Fatalf("trial %d (n=%d rounds=%d churn=%v a=%d b=%d): peer %d diverged: utility %v vs %v, spent %v vs %v",
+					trial, n, opt.Rounds, churn, design.ID(a), design.ID(b), i,
+					got.Utility[i], ref.Utility[i], got.Spent[i], ref.Spent[i])
+			}
+		}
+	}
+}
+
+// TestChurnValidation pins the PR 5 bugfix: churn outside [0,1] and
+// NaN were silently clamped by the seed (negative/NaN behaved as 0,
+// >1 saturated); they are now explicit errors.
+func TestChurnValidation(t *testing.T) {
+	caps := bandwidth.Piatek().Stratified(4)
+	specs := make([]cyclesim.PeerSpec, 4)
+	for i := range specs {
+		specs[i] = cyclesim.PeerSpec{Protocol: design.BitTorrent(), Capacity: caps[i]}
+	}
+	for _, churn := range []float64{math.NaN(), -0.01, -1, 1.0000001, 2, math.Inf(1), math.Inf(-1)} {
+		if _, err := cyclesim.Run(specs, cyclesim.Options{Rounds: 5, Seed: 1, Churn: churn}); err == nil {
+			t.Errorf("churn %v accepted, want error", churn)
+		}
+	}
+	for _, churn := range []float64{0, 0.5, 1} {
+		if _, err := cyclesim.Run(specs, cyclesim.Options{Rounds: 5, Seed: 1, Churn: churn, Replacement: bandwidth.Piatek()}); err != nil {
+			t.Errorf("churn %v rejected: %v", churn, err)
+		}
+	}
+}

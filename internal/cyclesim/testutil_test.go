@@ -1,0 +1,18 @@
+package cyclesim
+
+import (
+	"repro/internal/bandwidth"
+	"repro/internal/design"
+)
+
+// allocSpecs builds an all-p population with stratified Piatek
+// capacities — shared by the in-package allocation pins and
+// benchmarks.
+func allocSpecs(p design.Protocol, n int) []PeerSpec {
+	caps := bandwidth.Piatek().Stratified(n)
+	specs := make([]PeerSpec, n)
+	for i := range specs {
+		specs[i] = PeerSpec{Protocol: p, Capacity: caps[i]}
+	}
+	return specs
+}

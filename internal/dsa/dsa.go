@@ -31,6 +31,7 @@ package dsa
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -115,6 +116,12 @@ func (c Config) Validate() error {
 	}
 	if c.Opponents < 0 {
 		return fmt.Errorf("dsa: Opponents must be >= 0, got %d", c.Opponents)
+	}
+	if math.IsNaN(c.Churn) || c.Churn < 0 || c.Churn > 1 {
+		// The seed silently treated negative/NaN churn as 0 and let
+		// churn > 1 saturate; domains now get an explicit error before
+		// any simulation (cyclesim rejects it at its own boundary too).
+		return fmt.Errorf("dsa: Churn must be in [0,1], got %v", c.Churn)
 	}
 	return nil
 }

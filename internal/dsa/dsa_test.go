@@ -6,6 +6,7 @@ package dsa_test
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -195,5 +196,23 @@ func TestExplorersOnGossipDomain(t *testing.T) {
 
 	if _, _, err := dsa.HillClimb(d, dsa.Weights{"bogus": 1}, cfg, core.HillClimbConfig{Restarts: 1, MaxSteps: 1, Seed: 1}, nil); err == nil {
 		t.Fatal("unknown measure weight accepted")
+	}
+}
+
+func TestConfigValidateChurnRange(t *testing.T) {
+	ok := dsa.Config{Peers: 4, Rounds: 5, PerfRuns: 1, EncounterRuns: 1}
+	for _, churn := range []float64{0, 0.01, 0.5, 1} {
+		c := ok
+		c.Churn = churn
+		if err := c.Validate(); err != nil {
+			t.Errorf("churn %v rejected: %v", churn, err)
+		}
+	}
+	for _, churn := range []float64{-0.01, 1.01, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		c := ok
+		c.Churn = churn
+		if err := c.Validate(); err == nil {
+			t.Errorf("churn %v accepted, want error", churn)
+		}
 	}
 }

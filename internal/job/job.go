@@ -259,6 +259,15 @@ type ExecOptions struct {
 // concurrently from the pool's goroutines (so slow sinks — fsyncs,
 // uploads — overlap with computation and each other) and must be safe
 // for concurrent use; the first sink or task error stops the pool.
+//
+// Simulator state is pooled underneath this seam: the swarming
+// domain's ScoreSlice runs cyclesim with its shared world pool
+// (internal/cyclesim.Pool), so the workers here reuse O(n²) simulation
+// slabs across tasks instead of reallocating them per run. That reuse
+// is invisible by contract — the simulators' golden-parity suites pin
+// pooled and fresh runs to bit-equal results — which is also what
+// keeps ExecOptions.Cache sound: a cache hit recorded by a pooled run
+// and a cold recomputation are the same bytes.
 func ExecTasks(ctx context.Context, spec Spec, tasks []Task, opts ExecOptions, sink func(t Task, values []float64, elapsed time.Duration) error) error {
 	if len(tasks) == 0 {
 		return ctx.Err()

@@ -125,8 +125,10 @@ func (swarmingDomain) Assemble(pts []core.Point, raw map[string][]float64) (*dsa
 
 // Generic maps the result-affecting knobs onto the domain-independent
 // config. A custom Dist cannot cross the generic boundary (it is not
-// serialisable into a checkpoint spec); callers needing one use this
-// package directly.
+// serialisable into a checkpoint spec), and neither can a Pool (it
+// affects nothing a result is a function of — engine-driven sweeps
+// pool simulator state through cyclesim's shared default pool
+// instead); callers needing either use this package directly.
 func (c Config) Generic() dsa.Config {
 	return dsa.Config{
 		Peers: c.Peers, Rounds: c.Rounds,

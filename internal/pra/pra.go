@@ -19,6 +19,7 @@ package pra
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 
 	"repro/internal/bandwidth"
@@ -40,6 +41,14 @@ type Config struct {
 	Workers       int     // parallel workers; 0 = GOMAXPROCS
 	// Dist supplies peer capacities (stratified per run). nil = Piatek.
 	Dist *bandwidth.Distribution
+	// Pool supplies reusable simulator state to every run of this
+	// quantification (cyclesim worlds are pooled either way — nil uses
+	// the simulator's shared pool — but an explicit Pool isolates a
+	// sweep's worlds from other workloads in the process). Like Dist
+	// it cannot cross the generic Domain boundary: it affects nothing
+	// a score is a function of, so Generic()/FromGeneric drop it and
+	// cache keys never see it.
+	Pool *cyclesim.Pool
 }
 
 // Paper returns the full-scale configuration of Section 4.3: 50 peers,
@@ -69,6 +78,9 @@ func (c Config) validate() error {
 	}
 	if c.Opponents < 0 {
 		return fmt.Errorf("pra: Opponents must be >= 0, got %d", c.Opponents)
+	}
+	if math.IsNaN(c.Churn) || c.Churn < 0 || c.Churn > 1 {
+		return fmt.Errorf("pra: Churn must be in [0,1], got %v", c.Churn)
 	}
 	return nil
 }
@@ -182,6 +194,7 @@ func PerformanceSweep(ps []design.Protocol, cfg Config) ([]float64, error) {
 				Seed:        runSeed(cfg.Seed, design.ID(ps[i]), 0, r, 1),
 				Churn:       cfg.Churn,
 				Replacement: dist,
+				Pool:        cfg.Pool,
 			})
 			if err != nil {
 				errs[i] = err
@@ -219,6 +232,7 @@ func Encounter(a, b design.Protocol, frac float64, cfg Config, seed int64) (mean
 		Seed:        seed,
 		Churn:       cfg.Churn,
 		Replacement: dist,
+		Pool:        cfg.Pool,
 	})
 	if err != nil {
 		return 0, 0, err

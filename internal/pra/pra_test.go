@@ -1,8 +1,10 @@
 package pra
 
 import (
+	"math"
 	"testing"
 
+	"repro/internal/cyclesim"
 	"repro/internal/design"
 	"repro/internal/dsa"
 	"repro/internal/stats"
@@ -20,6 +22,9 @@ func TestConfigValidate(t *testing.T) {
 		{Peers: 10, Rounds: 10, PerfRuns: 0, EncounterRuns: 1},
 		{Peers: 10, Rounds: 10, PerfRuns: 1, EncounterRuns: 0},
 		{Peers: 10, Rounds: 10, PerfRuns: 1, EncounterRuns: 1, Opponents: -1},
+		{Peers: 10, Rounds: 10, PerfRuns: 1, EncounterRuns: 1, Churn: -0.1},
+		{Peers: 10, Rounds: 10, PerfRuns: 1, EncounterRuns: 1, Churn: 1.5},
+		{Peers: 10, Rounds: 10, PerfRuns: 1, EncounterRuns: 1, Churn: math.NaN()},
 	}
 	for i, c := range bad {
 		if err := c.validate(); err == nil {
@@ -278,4 +283,29 @@ func TestParallelForCoversAll(t *testing.T) {
 	}
 	// n < workers and n == 0 edge cases.
 	dsa.ParallelFor(0, 4, func(int) { t.Fatal("should not run") })
+}
+
+func TestExplicitPoolMatchesDefault(t *testing.T) {
+	// Threading a dedicated cyclesim.Pool through the quantification
+	// must not change a single value versus the shared default pool —
+	// pooling is a pure allocation optimisation.
+	ps := []design.Protocol{design.BitTorrent(), design.SortS(), design.Freerider()}
+	cfg := tiny()
+	cfg.Opponents = 4
+	base, err := Run(ps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Pool = &cyclesim.Pool{}
+	pooled, err := Run(ps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		if base.RawPerformance[i] != pooled.RawPerformance[i] ||
+			base.Robustness[i] != pooled.Robustness[i] ||
+			base.Aggressiveness[i] != pooled.Aggressiveness[i] {
+			t.Fatalf("protocol %d: pooled quantification diverged", i)
+		}
+	}
 }

@@ -1,0 +1,55 @@
+// Package profiling wires the standard pprof file profiles into the
+// CLIs (-cpuprofile / -memprofile on dsa-sweep and dsa-grid work), so
+// perf work on the simulators and the engine can measure real sweeps
+// instead of guessing. See the README's "Benchmarking and profiling"
+// guide for how to read the output with `go tool pprof`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins the profiles selected by the two file paths (either may
+// be empty) and returns an idempotent stop function that finishes
+// them: it stops the CPU profile and writes the heap profile after a
+// forced GC, so the snapshot shows live steady-state memory rather
+// than collectible garbage. Callers should both defer stop and invoke
+// it explicitly before any os.Exit/log.Fatal path they want profiled.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+					return
+				}
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				}
+				f.Close()
+			}
+		})
+	}, nil
+}

@@ -24,13 +24,36 @@
 //     empty ("Loyal-When-needed", the Section 5 DSA pick).
 //   - ClientSortS: one slot, sort slowest, no optimistic unchoke.
 //   - ClientRandom: random ranking, periodic optimistic unchoke.
+//
+// # Performance model
+//
+// The transfer loop is engineered to be allocation-free and scan-free
+// in steady state, byte-identical to the frozen seed implementation in
+// internal/swarm/refswarm (same RNG draw order, same float operation
+// order — the golden-parity suite pins it):
+//
+//   - Piece assignments carry a per-second epoch instead of being
+//     reset: the seed's O(nLeech × nPieces) clear at the top of every
+//     second is gone, and pooled states stay valid because the epoch
+//     counter keeps increasing across runs.
+//   - Every leecher keeps an incremental want list (pieces it still
+//     lacks, swap-removed on completion), so the piece scans in
+//     pickPiece and the interest checks shrink as the download
+//     progresses instead of staying O(nPieces). Want-list order never
+//     affects results: every selection minimises an explicit
+//     (availability, cyclic-offset) or (progress, index) key that
+//     reproduces the seed's scan-order tie-breaking exactly.
+//   - Each leecher also keeps a per-uploader assignment slot, making
+//     the seed's "piece already assigned from this uploader" scan O(1).
+//   - The choke rankings run on alloc-free stable insertion sorts
+//     (identical output to the seed's sort.SliceStable by stability),
+//     and state is pooled across runs (see Pool / Config.Pool).
 package swarm
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/bandwidth"
 )
@@ -125,6 +148,11 @@ type Config struct {
 	// debugging and for the verbose modes of the benchmark tools.
 	Trace      func(TraceSample)
 	TraceEvery int
+	// Pool, if non-nil, supplies and receives the run's state so
+	// repeated runs reuse the O(n·nPieces + n²) bookkeeping slabs. Nil
+	// uses a shared package-level pool; pooling never changes results,
+	// only allocation behaviour.
+	Pool *Pool
 }
 
 // TraceSample is a periodic snapshot of swarm state.
@@ -237,8 +265,23 @@ type peer struct {
 	optIdx   int   // current optimistic unchoke target (-1 none)
 	// partial[p] = KiB received toward piece p.
 	partial []float64
-	// assigned[p] = uploader currently serving piece p to us (-1 none).
-	assigned []int
+	// assigned[p] = uploader currently serving piece p to us, valid
+	// only while assignedAt[p] matches the state's second epoch — the
+	// per-second reassignment the seed implemented by clearing the
+	// whole array every second.
+	assigned   []int32
+	assignedAt []int64
+	// fromPiece[u] = the piece currently assigned from uploader u
+	// (valid under fromAt[u], -1 none): the O(1) form of the seed's
+	// "existing assignment first" scan. At most one piece per
+	// (downloader, uploader) pair is ever live within a second.
+	fromPiece []int32
+	fromAt    []int64
+	// want lists the pieces this leecher still lacks (swap-removed on
+	// completion; order is irrelevant to results — see the package
+	// comment); wantPos[p] is p's index in want, -1 once held.
+	want    []int32
+	wantPos []int32
 	// rate[j] = EMA of KiB/s received from j (choke-period granularity).
 	rate []float64
 	// gotThisPeriod[j] = KiB received from j during the current period.
@@ -262,7 +305,11 @@ func Run(clients []Client, cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("swarm: leecher %d has unknown client %d", i, int(c))
 		}
 	}
-	s := newState(clients, cfg)
+	pool := cfg.Pool
+	if pool == nil {
+		pool = &defaultPool
+	}
+	s := pool.get(clients, cfg)
 	traceEvery := cfg.TraceEvery
 	if traceEvery <= 0 {
 		traceEvery = 10
@@ -308,6 +355,7 @@ func Run(clients []Client, cfg Config) (Result, error) {
 			res.Censored++
 		}
 	}
+	pool.put(s)
 	return res, nil
 }
 
@@ -320,69 +368,116 @@ type state struct {
 	avail     []int // availability count per piece (present peers)
 	remaining int   // unfinished leechers
 	scratch   []int
+	scratch2  []int // pickOptimistic's pool (the seed allocated it per call)
 
 	goodput     float64
 	wasted      float64
 	activeEdges int
 	seconds     int
 	downBudget  []float64 // per-leecher remaining download KiB this second
+	// epoch validates piece assignments: bumped at the top of every
+	// simulated second and monotonic across pooled runs, so stale
+	// assignedAt/fromAt stamps — from earlier seconds or earlier runs
+	// — can never match.
+	epoch int64
 }
 
 func newState(clients []Client, cfg Config) *state {
 	nL := len(clients)
 	n := nL + cfg.Seeders
 	nP := cfg.pieces()
+	s := &state{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		peers:   make([]*peer, n),
+		nLeech:  nL,
+		nPieces: nP,
+		avail:   make([]int, nP),
+	}
+	s.downBudget = make([]float64, nL)
+	for i := 0; i < n; i++ {
+		s.peers[i] = &peer{
+			have:          make([]bool, nP),
+			partial:       make([]float64, nP),
+			assigned:      make([]int32, nP),
+			assignedAt:    make([]int64, nP),
+			fromPiece:     make([]int32, n),
+			fromAt:        make([]int64, n),
+			want:          make([]int32, 0, nP),
+			wantPos:       make([]int32, nP),
+			rate:          make([]float64, n),
+			gotThisPeriod: make([]float64, n),
+			streak:        make([]int, n),
+		}
+	}
+	s.reset(clients, cfg)
+	return s
+}
+
+// reset prepares a (fresh or pooled) state for one run. The epoch
+// counter is NOT reset — its monotonicity is what keeps the pooled
+// assignment slabs valid without clearing them.
+func (s *state) reset(clients []Client, cfg Config) {
+	nL := len(clients)
+	n := nL + cfg.Seeders
+	nP := cfg.pieces()
+	s.cfg = cfg
+	s.rng.Seed(cfg.Seed)
+	s.remaining = nL
+	s.goodput, s.wasted = 0, 0
+	s.activeEdges, s.seconds = 0, 0
 	dist := cfg.Dist
 	if dist == nil {
 		dist = bandwidth.Piatek()
 	}
 	caps := dist.Stratified(nL)
-	s := &state{
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		peers:     make([]*peer, n),
-		nLeech:    nL,
-		nPieces:   nP,
-		avail:     make([]int, nP),
-		remaining: nL,
-	}
-	s.downBudget = make([]float64, nL)
 	for i := 0; i < n; i++ {
-		p := &peer{
-			have:          make([]bool, nP),
-			partial:       make([]float64, nP),
-			assigned:      make([]int, nP),
-			rate:          make([]float64, n),
-			gotThisPeriod: make([]float64, n),
-			streak:        make([]int, n),
-			optIdx:        -1,
+		p := s.peers[i]
+		p.haveCnt = 0
+		p.done = false
+		p.doneAt = 0
+		p.unchoked = p.unchoked[:0]
+		p.optIdx = -1
+		p.want = p.want[:0]
+		for j := range p.have {
+			p.have[j] = false
+			p.partial[j] = 0
 		}
-		for j := range p.assigned {
-			p.assigned[j] = -1
+		for j := range p.rate {
+			p.rate[j] = 0
+			p.gotThisPeriod[j] = 0
+			p.streak[j] = 0
 		}
 		if i < nL {
 			p.client = clients[i]
+			p.seed = false
 			p.upKBps = caps[i]
+			p.downKBps = 0
 			if cfg.DownCapFactor > 0 {
 				p.downKBps = cfg.DownCapFactor * caps[i]
 				if p.downKBps < cfg.DownFloorKBps {
 					p.downKBps = cfg.DownFloorKBps
 				}
 			}
+			for j := 0; j < nP; j++ {
+				p.want = append(p.want, int32(j))
+				p.wantPos[j] = int32(j)
+			}
 		} else {
 			p.seed = true
+			p.client = 0
 			p.upKBps = cfg.SeedUploadKBps
+			p.downKBps = 0
 			for j := range p.have {
 				p.have[j] = true
+				p.wantPos[j] = -1
 			}
 			p.haveCnt = nP
 		}
-		s.peers[i] = p
 	}
 	for pc := range s.avail {
 		s.avail[pc] = cfg.Seeders
 	}
-	return s
 }
 
 // interested reports whether a wants anything b has.
@@ -394,8 +489,8 @@ func (s *state) interested(a, b int) bool {
 	if pb.seed {
 		return !pa.done
 	}
-	for p := 0; p < s.nPieces; p++ {
-		if pb.have[p] && !pa.have[p] {
+	for _, p := range pa.want {
+		if pb.have[p] {
 			return true
 		}
 	}
@@ -459,7 +554,10 @@ func (s *state) rechokeSeeder(i int) {
 	p.unchoked = append(p.unchoked[:0], s.scratch[:k]...)
 }
 
-// rechokeLeecher applies the client's ranking policy.
+// rechokeLeecher applies the client's ranking policy. The rankings run
+// on stable insertion sorts with the seed's comparators: stability
+// makes their output identical to sort.SliceStable's, without the
+// per-call closure allocations.
 func (s *state) rechokeLeecher(i, period int) {
 	p := s.peers[i]
 	c := p.client
@@ -483,21 +581,48 @@ func (s *state) rechokeLeecher(i, period int) {
 	s.rng.Shuffle(len(cand), func(a, b int) { cand[a], cand[b] = cand[b], cand[a] })
 	switch c {
 	case ClientBT:
-		sort.SliceStable(cand, func(a, b int) bool { return p.rate[cand[a]] > p.rate[cand[b]] })
-	case ClientBirds:
-		own := p.upKBps / float64(c.slots())
-		sort.SliceStable(cand, func(a, b int) bool {
-			return math.Abs(p.rate[cand[a]]-own) < math.Abs(p.rate[cand[b]]-own)
-		})
-	case ClientLoyal:
-		sort.SliceStable(cand, func(a, b int) bool {
-			if p.streak[cand[a]] != p.streak[cand[b]] {
-				return p.streak[cand[a]] > p.streak[cand[b]]
+		rate := p.rate
+		for x := 1; x < len(cand); x++ {
+			v, y := cand[x], x-1
+			for y >= 0 && rate[v] > rate[cand[y]] {
+				cand[y+1] = cand[y]
+				y--
 			}
-			return p.rate[cand[a]] > p.rate[cand[b]]
-		})
+			cand[y+1] = v
+		}
+	case ClientBirds:
+		rate := p.rate
+		own := p.upKBps / float64(c.slots())
+		for x := 1; x < len(cand); x++ {
+			v, y := cand[x], x-1
+			kv := math.Abs(rate[v] - own)
+			for y >= 0 && kv < math.Abs(rate[cand[y]]-own) {
+				cand[y+1] = cand[y]
+				y--
+			}
+			cand[y+1] = v
+		}
+	case ClientLoyal:
+		rate, streak := p.rate, p.streak
+		for x := 1; x < len(cand); x++ {
+			v, y := cand[x], x-1
+			for y >= 0 && (streak[v] > streak[cand[y]] ||
+				(streak[v] == streak[cand[y]] && rate[v] > rate[cand[y]])) {
+				cand[y+1] = cand[y]
+				y--
+			}
+			cand[y+1] = v
+		}
 	case ClientSortS:
-		sort.SliceStable(cand, func(a, b int) bool { return p.rate[cand[a]] < p.rate[cand[b]] })
+		rate := p.rate
+		for x := 1; x < len(cand); x++ {
+			v, y := cand[x], x-1
+			for y >= 0 && rate[v] < rate[cand[y]] {
+				cand[y+1] = cand[y]
+				y--
+			}
+			cand[y+1] = v
+		}
 	case ClientRandom:
 		s.rng.Shuffle(len(cand), func(a, b int) { cand[a], cand[b] = cand[b], cand[a] })
 	}
@@ -527,19 +652,19 @@ func (s *state) rechokeLeecher(i, period int) {
 // that is not already unchoked, or -1.
 func (s *state) pickOptimistic(i int) int {
 	p := s.peers[i]
-	var pool []int
+	s.scratch2 = s.scratch2[:0]
 	for j := 0; j < s.nLeech; j++ {
 		if j == i || s.peers[j].done || contains(p.unchoked, j) {
 			continue
 		}
 		if s.interested(j, i) {
-			pool = append(pool, j)
+			s.scratch2 = append(s.scratch2, j)
 		}
 	}
-	if len(pool) == 0 {
+	if len(s.scratch2) == 0 {
 		return -1
 	}
-	return pool[s.rng.Intn(len(pool))]
+	return s.scratch2[s.rng.Intn(len(s.scratch2))]
 }
 
 func contains(xs []int, v int) bool {
@@ -554,26 +679,19 @@ func contains(xs []int, v int) bool {
 // transfer moves one second of data along every active unchoke edge.
 func (s *state) transfer(sec int) {
 	s.seconds++
+	// New second, new assignment epoch: every piece is re-pickable and
+	// single-sourced again (no duplicates outside endgame), but a fat
+	// upload pipe can chain through several pieces, and a piece served
+	// by a slow source is re-pickable next second — the one-second
+	// request granularity that block-level pipelining gives real
+	// clients. (The seed cleared every leecher's whole assigned array
+	// here; the epoch bump invalidates them all for free.)
+	s.epoch++
 	for v := 0; v < s.nLeech; v++ {
 		if s.peers[v].downKBps > 0 {
 			s.downBudget[v] = s.peers[v].downKBps
 		} else {
 			s.downBudget[v] = math.Inf(1)
-		}
-	}
-	// Reset piece assignments every second: within one second a piece
-	// has a single source (no duplicates outside endgame), but a fat
-	// upload pipe can chain through several pieces, and a piece served
-	// by a slow source is re-pickable next second — the one-second
-	// request granularity that block-level pipelining gives real
-	// clients.
-	for v := 0; v < s.nLeech; v++ {
-		pv := s.peers[v]
-		if pv.done {
-			continue
-		}
-		for p := 0; p < s.nPieces; p++ {
-			pv.assigned[p] = -1
 		}
 	}
 	for u := range s.peers {
@@ -602,6 +720,23 @@ func (s *state) transfer(sec int) {
 	}
 }
 
+// assignedTo returns the uploader currently serving piece p to pv this
+// second, or -1.
+func (s *state) assignedTo(pv *peer, p int32) int32 {
+	if pv.assignedAt[p] == s.epoch {
+		return pv.assigned[p]
+	}
+	return -1
+}
+
+// assign records that uploader u serves piece p to pv this second.
+func (s *state) assign(pv *peer, p int32, u int) {
+	pv.assigned[p] = int32(u)
+	pv.assignedAt[p] = s.epoch
+	pv.fromPiece[u] = p
+	pv.fromAt[u] = s.epoch
+}
+
 // pickPiece returns the piece v should fetch from u: the piece already
 // assigned to u if any, else the rarest piece u has, v lacks, and no
 // other uploader is currently assigned. When every wanted piece is
@@ -609,70 +744,85 @@ func (s *state) transfer(sec int) {
 // wanted piece (BitTorrent's endgame mode) — without this, a piece
 // locked to a slow source head-of-line-blocks the whole download.
 // Returns -1 if u has nothing v wants.
+//
+// All three searches walk v's want list, whose order varies with
+// completion history; the explicit minimisation keys below reproduce
+// the seed's ascending / random-offset-cyclic scan order exactly, so
+// the picked piece never depends on want-list order.
 func (s *state) pickPiece(v, u int) int {
 	pv, pu := s.peers[v], s.peers[u]
-	// Existing assignment first.
-	for p := 0; p < s.nPieces; p++ {
-		if pv.assigned[p] == u && !pv.have[p] {
-			return p
+	// Existing assignment first: O(1) via the per-uploader slot (at
+	// most one piece per (v,u) pair is live within a second).
+	if pv.fromAt[u] == s.epoch {
+		if p := pv.fromPiece[u]; p >= 0 && !pv.have[p] {
+			return int(p)
 		}
 	}
 	// In-progress pieces next: finish what is started (most-complete
-	// first), as real clients do. Without this, per-second source
+	// first, ties to the lowest piece index like the seed's ascending
+	// scan), as real clients do. Without this, per-second source
 	// re-picking scatters progress across many partial pieces and no
 	// piece ever completes.
-	bestPartial, bestAmt := -1, 0.0
-	for p := 0; p < s.nPieces; p++ {
-		if !pu.have[p] || pv.have[p] || pv.assigned[p] >= 0 {
+	bestPartial, bestAmt := int32(-1), 0.0
+	for _, p := range pv.want {
+		if !pu.have[p] || s.assignedTo(pv, p) >= 0 {
 			continue
 		}
-		if pv.partial[p] > bestAmt {
+		if pv.partial[p] > bestAmt || (pv.partial[p] == bestAmt && bestPartial >= 0 && p < bestPartial) {
 			bestPartial, bestAmt = p, pv.partial[p]
 		}
 	}
 	if bestPartial >= 0 {
-		pv.assigned[bestPartial] = u
-		return bestPartial
+		s.assign(pv, bestPartial, u)
+		return int(bestPartial)
 	}
-	// Rarest-first with randomised tie-breaking: scan from a random
-	// offset so equally-rare pieces are picked uniformly. Deterministic
-	// tie-breaking would make every peer fetch pieces in the same
-	// global order, keeping piece sets identical and collapsing mutual
-	// interest — the classic synchronized-piece-set pathology real
-	// clients avoid by randomising rarest-first.
+	// Rarest-first with randomised tie-breaking: the seed scanned from
+	// a random offset so equally-rare pieces are picked uniformly —
+	// deterministic tie-breaking would make every peer fetch pieces in
+	// the same global order, keeping piece sets identical and
+	// collapsing mutual interest (the classic synchronized-piece-set
+	// pathology real clients avoid by randomising rarest-first). The
+	// same draw, applied as a minimisation over (availability, cyclic
+	// distance from the offset), picks the identical piece.
 	off := s.rng.Intn(s.nPieces)
-	best, bestAvail := -1, math.MaxInt32
-	for i := 0; i < s.nPieces; i++ {
-		p := (off + i) % s.nPieces
-		if !pu.have[p] || pv.have[p] || pv.assigned[p] >= 0 {
+	best, bestAvail, bestCyc := int32(-1), math.MaxInt32, math.MaxInt32
+	for _, p := range pv.want {
+		if !pu.have[p] || s.assignedTo(pv, p) >= 0 {
 			continue
 		}
-		if s.avail[p] < bestAvail {
-			best, bestAvail = p, s.avail[p]
+		cyc := int(p) - off
+		if cyc < 0 {
+			cyc += s.nPieces
+		}
+		if s.avail[p] < bestAvail || (s.avail[p] == bestAvail && cyc < bestCyc) {
+			best, bestAvail, bestCyc = p, s.avail[p], cyc
 		}
 	}
 	if best >= 0 {
-		pv.assigned[best] = u
-		return best
+		s.assign(pv, best, u)
+		return int(best)
 	}
 	// Endgame: only when v is down to its last few pieces, duplicate
 	// the rarest wanted piece u has. The original assignment is kept;
 	// surplus bytes are wasted, as in real clients. Duplicating any
 	// earlier floods the swarm with redundant bytes — mid-game piece
 	// sets overlap heavily in a 20-piece file.
-	if s.nPieces-pv.haveCnt > endgamePieces {
+	if len(pv.want) > endgamePieces {
 		return -1
 	}
-	for i := 0; i < s.nPieces; i++ {
-		p := (off + i) % s.nPieces
-		if !pu.have[p] || pv.have[p] {
+	for _, p := range pv.want {
+		if !pu.have[p] {
 			continue
 		}
-		if s.avail[p] < bestAvail {
-			best, bestAvail = p, s.avail[p]
+		cyc := int(p) - off
+		if cyc < 0 {
+			cyc += s.nPieces
+		}
+		if s.avail[p] < bestAvail || (s.avail[p] == bestAvail && cyc < bestCyc) {
+			best, bestAvail, bestCyc = p, s.avail[p], cyc
 		}
 	}
-	return best
+	return int(best)
 }
 
 // endgamePieces is the remaining-piece threshold below which duplicate
@@ -707,15 +857,34 @@ func (s *state) deliver(v, u int, kib float64, sec int) {
 		s.goodput += take
 		kib -= take
 		if pv.partial[p] >= float64(s.cfg.PieceKiB) {
-			pv.have[p] = true
-			pv.haveCnt++
-			pv.assigned[p] = -1
+			s.obtain(pv, int32(p))
 			s.avail[p]++
 			if pv.haveCnt == s.nPieces {
 				s.complete(v, sec)
 			}
 		}
 	}
+}
+
+// obtain marks piece p held by pv: want-list removal, assignment
+// teardown (including the uploader's per-pair slot, which may belong
+// to a different uploader than the endgame deliverer).
+func (s *state) obtain(pv *peer, p int32) {
+	pv.have[p] = true
+	pv.haveCnt++
+	if u := s.assignedTo(pv, p); u >= 0 {
+		if pv.fromAt[u] == s.epoch && pv.fromPiece[u] == p {
+			pv.fromPiece[u] = -1
+		}
+		pv.assigned[p] = -1
+	}
+	pos := pv.wantPos[p]
+	last := int32(len(pv.want) - 1)
+	moved := pv.want[last]
+	pv.want[pos] = moved
+	pv.wantPos[moved] = pos
+	pv.want = pv.want[:last]
+	pv.wantPos[p] = -1
 }
 
 // complete marks leecher v finished at the given second and removes it

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# bench_compare.sh — diff a bench artifact against the committed
+# baseline, starting the cross-PR perf trajectory.
+#
+# Usage: bench_compare.sh [BENCH_PR5.json] [baseline.txt]
+#
+# The artifact is the test2json stream CI tees from `go test -bench
+# -json` (one JSON object per line). This script extracts the
+# benchmark result lines into the standard benchstat-comparable text
+# form (name <iters> <ns/op> ns/op), prints that form, and compares
+# per-benchmark ns/op against the committed baseline
+# (scripts/bench_baseline.txt, same text form — regenerate it with
+# this script's -extract mode whenever a PR intentionally moves the
+# floor).
+#
+# The comparison is ADVISORY: regressions beyond the threshold print
+# prominent warnings but never fail the build — -benchtime=1x CI
+# numbers are too noisy for a hard gate (scripts/perf_smoke.sh is the
+# hard gate, with a paired in-run baseline). Exit is non-zero only for
+# parse failures.
+set -euo pipefail
+
+THRESHOLD="${THRESHOLD:-1.20}" # warn when new/old exceeds this
+
+# extract <file.json> — test2json stream to benchstat-comparable text.
+# A benchmark's result line can be split across several Output events
+# (test2json flushes mid-line), so reassemble each package's output
+# stream first, then scan it for result lines.
+extract() {
+  awk '
+    {
+      pkg = ""
+      if (match($0, /"Package":"[^"]*"/)) pkg = substr($0, RSTART + 11, RLENGTH - 12)
+      if (match($0, /"Output":".*"}/)) {
+        buf[pkg] = buf[pkg] substr($0, RSTART + 10, RLENGTH - 12)
+      }
+    }
+    END {
+      for (p in buf) {
+        s = buf[p]
+        gsub(/\\t/, " ", s)
+        gsub(/\\n/, "\n", s)
+        n = split(s, lines, "\n")
+        for (i = 1; i <= n; i++)
+          if (lines[i] ~ /^Benchmark/ && lines[i] ~ /ns\/op/)
+            print lines[i]
+      }
+    }
+  ' "$1" | awk '{ print $1, $2, $3, "ns/op" }' | sort
+}
+
+if [ "${1:-}" = "-extract" ]; then
+  extract "${2:?usage: bench_compare.sh -extract BENCH.json}"
+  exit 0
+fi
+
+ARTIFACT="${1:-BENCH_PR5.json}"
+BASELINE="${2:-$(dirname "$0")/bench_baseline.txt}"
+
+if [ ! -f "$ARTIFACT" ]; then
+  echo "bench_compare: artifact $ARTIFACT not found" >&2
+  exit 1
+fi
+
+NEW="$(mktemp)"
+trap 'rm -f "$NEW"' EXIT
+extract "$ARTIFACT" >"$NEW"
+if [ ! -s "$NEW" ]; then
+  echo "bench_compare: no benchmark lines found in $ARTIFACT" >&2
+  exit 1
+fi
+
+echo "== benchstat-comparable results from $ARTIFACT =="
+cat "$NEW"
+
+if [ ! -f "$BASELINE" ]; then
+  echo "bench_compare: no baseline at $BASELINE; skipping comparison" >&2
+  exit 0
+fi
+
+echo
+echo "== comparison vs $BASELINE (advisory, warn at >$(awk -v t="$THRESHOLD" 'BEGIN{printf "%.0f", (t-1)*100}')% regression) =="
+awk -v threshold="$THRESHOLD" '
+  # Strip the -<GOMAXPROCS> suffix so runs from different machines align.
+  function base(n) { sub(/-[0-9]+$/, "", n); return n }
+  NR == FNR { old[base($1)] = $3; next }
+  {
+    n = base($1)
+    if (!(n in old)) { printf "NEW       %-40s %12.0f ns/op\n", n, $3; next }
+    ratio = $3 / old[n]
+    flag = (ratio > threshold) ? "REGRESSED" : (ratio < 1/threshold ? "IMPROVED " : "ok       ")
+    printf "%s %-40s %12.0f -> %12.0f ns/op  (%.2fx)\n", flag, n, old[n], $3, ratio
+    if (ratio > threshold) warned++
+  }
+  END {
+    if (warned) printf "\nbench_compare: WARNING — %d benchmark(s) regressed beyond the threshold (advisory)\n", warned
+    else print "\nbench_compare: no regressions beyond the threshold"
+  }
+' "$BASELINE" "$NEW"

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# perf_smoke.sh — enforce the PR 5 performance floor in CI.
+#
+# Runs the paired cold tournament-sweep benchmarks (optimized
+# cyclesim vs the frozen pre-optimization reference in
+# internal/cyclesim/refsim) and requires the optimized implementation
+# to be at least MIN_SPEEDUP times faster. Byte-identity of the two is
+# enforced separately by the golden-parity suites; this script only
+# guards the speed claim so it is re-measured on every push instead of
+# decaying into a stale README number.
+#
+# Also re-runs the steady-state allocation pins (0 allocs/round for
+# the cyclesim round loop, 0 allocs/second for the swarm transfer
+# loop) so the floor cannot be met by trading allocations for time,
+# and reports the swarm run pair (advisory — the swarm is not on the
+# sweep hot path).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
+BENCHTIME="${BENCHTIME:-3x}"
+COUNT="${COUNT:-3}"
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+echo "== allocation pins =="
+go test ./internal/cyclesim -run 'TestRoundLoopAllocFree|TestPooledRunAllocs' -count=1
+go test ./internal/swarm -run 'TestTransferLoopAllocFree|TestPooledRunAllocsSwarm' -count=1
+
+echo "== cold tournament sweep: optimized vs frozen reference =="
+go test -run '^$' \
+  -bench 'BenchmarkTournamentCold$|BenchmarkTournamentColdReference$|BenchmarkSwarmRun$|BenchmarkSwarmRunReference$' \
+  -benchtime="$BENCHTIME" -count="$COUNT" . | tee "$OUT"
+
+# Best (minimum) ns/op per benchmark: CI machines are noisy upward,
+# never downward.
+min_ns() {
+  awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" { if (min == "" || $3 < min) min = $3 } END { print min }' "$OUT"
+}
+
+OPT=$(min_ns BenchmarkTournamentCold)
+REF=$(min_ns BenchmarkTournamentColdReference)
+SOPT=$(min_ns BenchmarkSwarmRun)
+SREF=$(min_ns BenchmarkSwarmRunReference)
+if [ -z "$OPT" ] || [ -z "$REF" ]; then
+  echo "perf_smoke: FAILED to parse benchmark output" >&2
+  exit 1
+fi
+
+RATIO=$(awk -v r="$REF" -v o="$OPT" 'BEGIN { printf "%.2f", r / o }')
+SRATIO=$(awk -v r="$SREF" -v o="$SOPT" 'BEGIN { if (o != "") printf "%.2f", r / o }')
+echo "tournament cold sweep: reference ${REF} ns/op, optimized ${OPT} ns/op -> ${RATIO}x (floor ${MIN_SPEEDUP}x)"
+[ -n "$SRATIO" ] && echo "swarm run (advisory):  reference ${SREF} ns/op, optimized ${SOPT} ns/op -> ${SRATIO}x"
+
+if awk -v r="$RATIO" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(r + 0 >= m + 0) }'; then
+  echo "perf_smoke: PASS (${RATIO}x >= ${MIN_SPEEDUP}x)"
+else
+  echo "perf_smoke: FAIL — cold tournament speedup ${RATIO}x is below the ${MIN_SPEEDUP}x floor" >&2
+  exit 1
+fi

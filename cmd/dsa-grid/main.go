@@ -12,10 +12,12 @@
 //	               [-stride N] [-opponents N] [-peers N] [-rounds N]
 //	               [-perfruns N] [-encruns N] [-seed N] [-chunk N]
 //	               [-checkpoint-dir DIR] [-cache-dir DIR] [-lease-ttl 30s]
-//	               [-out results.csv] [-once]
+//	               [-out results.csv] [-once] [-priority N]
+//	               [-auth-token SECRET] [-rate-limit N] [-rate-burst N]
 //
 //	dsa-grid work  -coordinator http://host:8437 [-job ID] [-name ID]
 //	               [-workers N] [-tasks-per-lease N] [-cache-dir DIR]
+//	               [-auth-token SECRET]
 //	               [-cpuprofile FILE] [-memprofile FILE]
 //
 // serve registers the sweep (the sweep-shaping flags mirror dsa-sweep)
@@ -34,6 +36,17 @@
 // whose scores are already known is served from it without dispatching
 // work. Counters are served on GET /v1/cache and by
 // `dsa-report -coordinator URL cache`.
+//
+// Production switches: -auth-token requires workers to present the
+// same shared secret (constant-time bearer-token check on every
+// mutating endpoint); -rate-limit/-rate-burst apply per-client
+// token-bucket admission to the /v1 API; -priority sets the job's
+// fair-share weight against other jobs on the same coordinator. The
+// coordinator always serves GET /metrics (Prometheus text) and a live
+// HTML dashboard at GET /v1/dashboard. On SIGTERM (or the first ^C) it
+// drains: no new leases are granted, in-flight leases settle (upload
+// or expire), then it exits cleanly — a second signal force-quits.
+// POST /v1/drain does the same remotely.
 //
 // work runs one worker until the job completes. -workers controls how
 // many tasks it computes in parallel (default: all cores); -cache-dir
@@ -85,7 +98,7 @@ func main() {
 	}
 }
 
-func runServe(ctx context.Context, args []string) {
+func runServe(sigCtx context.Context, args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
 		addr      = fs.String("addr", ":8437", "HTTP listen address")
@@ -105,6 +118,10 @@ func runServe(ctx context.Context, args []string) {
 		out       = fs.String("out", "", "write the assembled CSV here when the job completes")
 		once      = fs.Bool("once", false, "exit once the job completes instead of keeping the results API up")
 		linger    = fs.Duration("linger", 2*time.Second, "with -once, keep the API up this long after completion so workers see the final state")
+		authToken = fs.String("auth-token", "", "shared secret workers must present as a bearer token (empty = open grid)")
+		rateLimit = fs.Float64("rate-limit", 0, "per-client requests/second against the /v1 API (0 = unlimited)")
+		rateBurst = fs.Float64("rate-burst", 0, "rate-limit burst capacity (0 = one second of traffic)")
+		priority  = fs.Int("priority", 1, "fair-share weight of this job against other jobs on the coordinator")
 	)
 	fs.Parse(args)
 	if *stride < 1 {
@@ -132,6 +149,7 @@ func runServe(ctx context.Context, args []string) {
 
 	coordOpts := grid.CoordinatorOptions{
 		Dir: *ckptDir, LeaseTTL: *leaseTTL, Logf: log.Printf, CSV: exp.WriteDomainCSV,
+		AuthToken: *authToken, RateLimit: *rateLimit, RateBurst: *rateBurst,
 	}
 	if *cacheDir != "" {
 		store, err := cache.Open(cache.Options{Dir: *cacheDir})
@@ -145,15 +163,28 @@ func runServe(ctx context.Context, args []string) {
 	}
 	coord := grid.NewCoordinator(coordOpts)
 	defer coord.Close()
-	id, err := coord.AddJob(job.Spec{Domain: d, Points: points, Cfg: cfg, Chunk: *chunk})
+	id, err := coord.AddJobPriority(job.Spec{Domain: d, Points: points, Cfg: cfg, Chunk: *chunk}, *priority)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("job %s: %d %s points (%s preset); workers join with: dsa-grid work -coordinator http://<host>%s",
 		id, len(points), d.Name(), *preset, *addr)
 
-	ctx, cancel := context.WithCancel(ctx)
+	// The serve context governs the API's lifetime; the first signal
+	// does not cancel it but starts a graceful drain (workers are told
+	// to exit, in-flight leases settle, then Serve returns). A second
+	// signal force-quits: signal.NotifyContext unregisters after
+	// firing, restoring the default handler.
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	go func() {
+		select {
+		case <-sigCtx.Done():
+			log.Printf("signal: draining — no new leases; exiting once in-flight leases settle (signal again to force quit)")
+			coord.Drain(context.Background())
+		case <-ctx.Done():
+		}
+	}()
 	go reportProgress(ctx, coord, id)
 	fatal := make(chan error, 1)
 	go func() {
@@ -242,11 +273,12 @@ func runWork(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("work", flag.ExitOnError)
 	var (
 		coordinator = fs.String("coordinator", "", "coordinator base URL (e.g. http://host:8437)")
-		jobID       = fs.String("job", "", "job to work on (default: the first incomplete job)")
+		jobID       = fs.String("job", "", "job to work on (default: serve all jobs, fair-scheduled by the coordinator)")
 		name        = fs.String("name", "", "worker identity (default: host-pid-N)")
 		workers     = fs.Int("workers", 0, "parallel tasks (0 = all cores)")
 		perLease    = fs.Int("tasks-per-lease", 0, "tasks per lease call (0 = coordinator's cap)")
 		cacheDir    = fs.String("cache-dir", "", "worker-side score cache; leased tasks reuse known scores")
+		authToken   = fs.String("auth-token", "", "shared secret the coordinator requires (serve -auth-token)")
 		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of this worker to this file")
 		memProf     = fs.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on completion")
 	)
@@ -260,7 +292,8 @@ func runWork(ctx context.Context, args []string) {
 	}
 	defer stopProf()
 	workOpts := grid.WorkerOptions{
-		Name: *name, Workers: *workers, TasksPerLease: *perLease, Logf: log.Printf,
+		Name: *name, Workers: *workers, TasksPerLease: *perLease,
+		AuthToken: *authToken, Logf: log.Printf,
 	}
 	if *cacheDir != "" {
 		store, err := cache.Open(cache.Options{Dir: *cacheDir})

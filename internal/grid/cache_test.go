@@ -75,7 +75,7 @@ func TestCrossJobCacheShortCircuit(t *testing.T) {
 	}
 
 	// A lease request must find nothing to do.
-	lease, err := coord.Lease(idB, "idle-worker", 10)
+	lease, err := coord.Lease(context.Background(), idB, "idle-worker", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestCacheAbsorbsMidJob(t *testing.T) {
 	}
 
 	// B's next lease poll absorbs A's ingested scores.
-	lease, err := coord.Lease(idB, "w", 10)
+	lease, err := coord.Lease(context.Background(), idB, "w", 10)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,19 +2,25 @@ package grid
 
 import (
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/dsa"
+	"repro/internal/gridobs"
 	"repro/internal/job"
 )
 
@@ -22,6 +28,9 @@ import (
 const (
 	DefaultLeaseTTL = 30 * time.Second
 	DefaultMaxLease = 4
+	// DefaultMaxBody caps request bodies; a result upload for a huge
+	// task fits comfortably, a runaway or hostile body does not.
+	DefaultMaxBody = 64 << 20
 )
 
 // CoordinatorOptions configures a Coordinator.
@@ -52,6 +61,24 @@ type CoordinatorOptions struct {
 	// their chunking, pay for each score once. Stats are served on
 	// GET /v1/cache.
 	Cache dsa.ScoreCache
+
+	// AuthToken, when non-empty, switches on shared-secret worker
+	// auth: lease, heartbeat, result upload, job creation and drain
+	// require `Authorization: Bearer <token>` (compared in constant
+	// time). Read-only endpoints — listings, progress, results,
+	// metrics, the dashboard — stay open so operators can observe a
+	// grid they cannot drive.
+	AuthToken string
+	// RateLimit is the per-client admission rate in requests/second
+	// against the /v1 API (metrics scrapes are never limited); 0
+	// disables limiting. Clients are keyed by remote IP.
+	RateLimit float64
+	// RateBurst is the token-bucket burst capacity; 0 derives a
+	// one-second burst from RateLimit.
+	RateBurst float64
+	// MaxBody caps request body bytes; oversized bodies are rejected
+	// with 413 before any decoding. 0 = DefaultMaxBody.
+	MaxBody int64
 }
 
 func (o CoordinatorOptions) leaseTTL() time.Duration {
@@ -68,22 +95,41 @@ func (o CoordinatorOptions) maxLease() int {
 	return DefaultMaxLease
 }
 
-// Coordinator owns grid jobs: it serves leases, ingests results into
-// the checkpoint format, and exposes the live JSON API. Create one
-// with NewCoordinator, register sweeps with AddJob (or let clients
-// POST them), and mount Handler on an HTTP server (or call Serve).
-type Coordinator struct {
-	opts CoordinatorOptions
-	now  func() time.Time // injectable clock for tests
+func (o CoordinatorOptions) maxBody() int64 {
+	if o.MaxBody > 0 {
+		return o.MaxBody
+	}
+	return DefaultMaxBody
+}
 
-	mu   sync.Mutex
-	jobs map[string]*gridJob
+// Coordinator owns grid jobs: it serves leases, ingests results into
+// the checkpoint format, and exposes the live JSON API plus /metrics
+// and the dashboard. Create one with NewCoordinator, register sweeps
+// with AddJob (or let clients POST them), and mount Handler on an HTTP
+// server (or call Serve).
+type Coordinator struct {
+	opts    CoordinatorOptions
+	now     func() time.Time // injectable clock for tests
+	started time.Time
+	metrics *gridMetrics
+	limiter *gridobs.Limiter
+
+	mu      sync.Mutex
+	jobs    map[string]*gridJob
+	workers map[string]*workerStats
 	// cacheEpoch counts cache-feeding events (ingests, checkpoint
 	// restores). Each job remembers the epoch it last scanned the
 	// cache at, so the pending-task rescan in Lease runs only when
 	// the cache could actually have gained something — not on every
 	// poll of an idle grid.
 	cacheEpoch uint64
+
+	// draining is set by Drain: no new leases are granted, and once
+	// every in-flight lease settles (uploads or expires) drainDone is
+	// closed — the graceful-exit signal Serve and dsa-grid wait on.
+	draining    bool
+	drainClosed bool
+	drainDone   chan struct{}
 }
 
 type taskStatus int
@@ -99,22 +145,29 @@ type taskState struct {
 	status    taskStatus
 	worker    string
 	deadline  time.Time
-	recording bool // an Ingest is journalling this task outside the lock
+	leasedAt  time.Time // last lease grant, for the lease-latency histogram
+	recording bool      // an Ingest is journalling this task outside the lock
 }
 
 type gridJob struct {
 	id        string
 	spec      job.Spec
 	specRaw   json.RawMessage
+	weight    int      // fair-share priority weight, >= 1
 	order     []string // task IDs in canonical enumeration order
 	tasks     map[string]*taskState
 	results   map[string][]float64
 	cp        *job.Checkpoint // nil without a checkpoint dir
 	done      int
 	requeues  int
-	scores    *dsa.Scores // assembled once complete
-	scoresErr error
-	changed   chan struct{} // closed and replaced on every state change
+	restored  int       // tasks restored from checkpoint at registration
+	startedAt time.Time // first lease grant; anchors the ETA estimate
+	// leasesGranted counts tasks handed out on leases (re-leases
+	// included) — the fair scheduler's deficit measure.
+	leasesGranted int
+	scores        *dsa.Scores // assembled once complete
+	scoresErr     error
+	changed       chan struct{} // closed and replaced on every state change
 
 	// Score-cache plumbing (nil/zero without CoordinatorOptions.Cache):
 	// the job's key derivation context and per-point IDs, the epoch of
@@ -129,13 +182,41 @@ type gridJob struct {
 func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	// cacheEpoch starts at 1 so a fresh job (absorbedEpoch zero value
 	// 0) always runs its first cache scan, even before any ingest.
-	return &Coordinator{opts: opts, now: time.Now, jobs: map[string]*gridJob{}, cacheEpoch: 1}
+	c := &Coordinator{
+		opts:       opts,
+		now:        time.Now,
+		started:    time.Now(),
+		jobs:       map[string]*gridJob{},
+		workers:    map[string]*workerStats{},
+		cacheEpoch: 1,
+		drainDone:  make(chan struct{}),
+	}
+	c.limiter = gridobs.NewLimiter(opts.RateLimit, opts.RateBurst)
+	c.metrics = newGridMetrics(c)
+	return c
 }
+
+// Metrics exposes the coordinator's registry — what GET /metrics
+// serves — for embedding callers that scrape in-process.
+func (c *Coordinator) Metrics() *gridobs.Registry { return c.metrics.reg }
 
 func (c *Coordinator) logf(format string, args ...any) {
 	if c.opts.Logf != nil {
 		c.opts.Logf(format, args...)
 	}
+}
+
+// logfCtx is logf with the request ID (if the context carries one)
+// appended, so every coordinator event triggered by an HTTP request
+// can be correlated with its access-log line.
+func (c *Coordinator) logfCtx(ctx context.Context, format string, args ...any) {
+	if c.opts.Logf == nil {
+		return
+	}
+	if rid := gridobs.RequestID(ctx); rid != "" {
+		format += " rid=" + rid
+	}
+	c.opts.Logf(format, args...)
 }
 
 // jobID derives a stable identifier from the spec payload, so the same
@@ -147,10 +228,23 @@ func jobID(domain string, specRaw []byte) string {
 	return fmt.Sprintf("%s-%012x", domain, h.Sum64()&0xffffffffffff)
 }
 
-// AddJob registers a sweep. Adding a spec that is already registered
-// returns the existing job's ID. With a checkpoint dir configured,
-// completed tasks are restored from disk before any lease is granted.
+// AddJob registers a sweep at the default priority. Adding a spec that
+// is already registered returns the existing job's ID. With a
+// checkpoint dir configured, completed tasks are restored from disk
+// before any lease is granted.
 func (c *Coordinator) AddJob(spec job.Spec) (string, error) {
+	return c.AddJobPriority(spec, 1)
+}
+
+// AddJobPriority registers a sweep with a fair-share weight: against
+// other concurrent jobs, this job receives leased tasks in proportion
+// to its priority (a priority-3 job gets ~3x the grant share of a
+// priority-1 job while both have pending work). priority < 1 is
+// treated as 1. Re-adding an existing job updates its priority.
+func (c *Coordinator) AddJobPriority(spec job.Spec, priority int) (string, error) {
+	if priority < 1 {
+		priority = 1
+	}
 	if err := spec.Cfg.Validate(); err != nil {
 		return "", err
 	}
@@ -164,7 +258,13 @@ func (c *Coordinator) AddJob(spec job.Spec) (string, error) {
 	id := jobID(spec.Domain.Name(), specRaw)
 
 	c.mu.Lock()
-	if _, ok := c.jobs[id]; ok {
+	if j, ok := c.jobs[id]; ok {
+		if j.weight != priority {
+			j.weight = priority
+			c.mu.Unlock()
+			c.logf("grid: job %s priority set to %d", id, priority)
+			return id, nil
+		}
 		c.mu.Unlock()
 		return id, nil
 	}
@@ -172,6 +272,7 @@ func (c *Coordinator) AddJob(spec job.Spec) (string, error) {
 		id:      id,
 		spec:    spec,
 		specRaw: specRaw,
+		weight:  priority,
 		tasks:   map[string]*taskState{},
 		results: map[string][]float64{},
 		changed: make(chan struct{}),
@@ -213,6 +314,7 @@ func (c *Coordinator) AddJob(spec job.Spec) (string, error) {
 			c.feedCacheLocked(j, st.task, vals)
 		}
 	}
+	j.restored = j.done
 	// A restored job's own results never complete its own tasks, but
 	// they must still trigger a scan of *this* job against what other
 	// jobs cached before it arrived.
@@ -221,7 +323,7 @@ func (c *Coordinator) AddJob(spec job.Spec) (string, error) {
 	c.jobs[id] = j
 	restored := j.done
 	c.mu.Unlock()
-	c.logf("grid: job %s registered: %d tasks (%d restored from checkpoint)", id, len(j.order), restored)
+	c.logf("grid: job %s registered: %d tasks (%d restored from checkpoint), priority %d", id, len(j.order), restored, priority)
 	// Registration is visible before the absorb scan; a concurrent
 	// Lease absorbing the same job is harmless (the epoch gate and
 	// recording flags keep the work single-shot).
@@ -343,10 +445,12 @@ func (c *Coordinator) absorbCache(j *gridJob) {
 	}
 	if absorbed > 0 {
 		j.cacheServed += absorbed
+		c.metrics.cacheServed.Add(float64(absorbed))
 		c.logf("grid: job %s: %d tasks served from the score cache", j.id, absorbed)
 		c.finishIfCompleteLocked(j)
 		c.broadcastLocked(j)
 	}
+	c.checkDrainedLocked()
 }
 
 // Close releases every job's checkpoint handle.
@@ -365,7 +469,11 @@ func (c *Coordinator) Close() error {
 	return first
 }
 
-var errUnknownJob = errors.New("grid: unknown job")
+var (
+	errUnknownJob  = errors.New("grid: unknown job")
+	errUnknownTask = errors.New("grid: unknown task")
+	errDraining    = errors.New("grid: coordinator is draining")
+)
 
 func (c *Coordinator) getJob(id string) (*gridJob, error) {
 	j, ok := c.jobs[id]
@@ -375,23 +483,27 @@ func (c *Coordinator) getJob(id string) (*gridJob, error) {
 	return j, nil
 }
 
-// expireLocked requeues every lease whose deadline has passed. Expiry
-// is lazy: it runs at the top of every API call that looks at task
-// state, which is the only time staleness could matter.
+// expireLocked requeues every lease whose deadline has passed, scoring
+// the expiry against the worker that went silent. Expiry is lazy: it
+// runs at the top of every API call that looks at task state, which is
+// the only time staleness could matter (plus the drain loop's ticks).
 func (c *Coordinator) expireLocked(j *gridJob) {
 	now := c.now()
 	expired := 0
 	for _, st := range j.tasks {
 		if st.status == taskLeased && st.deadline.Before(now) {
 			st.status = taskPending
+			c.workerFailedLocked(st.worker)
 			st.worker = ""
 			j.requeues++
 			expired++
 		}
 	}
 	if expired > 0 {
+		c.metrics.requeues.Add(float64(expired))
 		c.logf("grid: job %s: %d leases expired, tasks re-queued", j.id, expired)
 		c.broadcastLocked(j)
+		c.checkDrainedLocked()
 	}
 }
 
@@ -415,8 +527,55 @@ func (c *Coordinator) finishIfCompleteLocked(j *gridJob) {
 	c.broadcastLocked(j)
 }
 
-// Lease grants up to max pending tasks to worker.
-func (c *Coordinator) Lease(id, worker string, max int) (LeaseResponse, error) {
+// grantLocked hands out up to max pending tasks of j to worker,
+// shaping max by the worker's score first.
+func (c *Coordinator) grantLocked(j *gridJob, worker string, max int) []LeaseTask {
+	if max <= 0 || max > c.opts.maxLease() {
+		max = c.opts.maxLease()
+	}
+	max = c.grantCapLocked(worker, max)
+	ttl := c.opts.leaseTTL()
+	now := c.now()
+	deadline := now.Add(ttl)
+	var tasks []LeaseTask
+	for _, tid := range j.order {
+		if len(tasks) == max {
+			break
+		}
+		st := j.tasks[tid]
+		if st.status != taskPending {
+			continue
+		}
+		st.status = taskLeased
+		st.worker = worker
+		st.deadline = deadline
+		st.leasedAt = now
+		tasks = append(tasks, LeaseTask{
+			Task: tid, Measure: st.task.Measure, Lo: st.task.Lo, Hi: st.task.Hi,
+			TTLMS: ttl.Milliseconds(),
+		})
+	}
+	if len(tasks) > 0 {
+		if j.startedAt.IsZero() {
+			j.startedAt = now
+		}
+		j.leasesGranted += len(tasks)
+		c.metrics.leasesGranted.Add(float64(len(tasks)))
+		if ws := c.touchWorkerLocked(worker); ws != nil {
+			ws.leased += len(tasks)
+		}
+		c.broadcastLocked(j)
+	} else if worker != "" {
+		// An empty grant is still a sign of life.
+		c.touchWorkerLocked(worker)
+	}
+	return tasks
+}
+
+// Lease grants up to max pending tasks of one job to worker. While the
+// coordinator drains, no tasks are granted and the response says so.
+func (c *Coordinator) Lease(ctx context.Context, id, worker string, max int) (LeaseResponse, error) {
+	c.metrics.leaseRequests.Inc()
 	c.mu.Lock()
 	j, err := c.getJob(id)
 	if err != nil {
@@ -431,38 +590,81 @@ func (c *Coordinator) Lease(id, worker string, max int) (LeaseResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked(j)
-	if max <= 0 || max > c.opts.maxLease() {
-		max = c.opts.maxLease()
-	}
-	ttl := c.opts.leaseTTL()
-	deadline := c.now().Add(ttl)
 	var resp LeaseResponse
-	for _, tid := range j.order {
-		if len(resp.Tasks) == max {
-			break
-		}
-		st := j.tasks[tid]
-		if st.status != taskPending {
-			continue
-		}
-		st.status = taskLeased
-		st.worker = worker
-		st.deadline = deadline
-		resp.Tasks = append(resp.Tasks, LeaseTask{
-			Task: tid, Measure: st.task.Measure, Lo: st.task.Lo, Hi: st.task.Hi,
-			TTLMS: ttl.Milliseconds(),
-		})
+	if c.draining {
+		c.touchWorkerLocked(worker)
+		resp.Draining = true
+		resp.Complete = j.done == len(j.order)
+		return resp, nil
 	}
-	if len(resp.Tasks) > 0 {
-		c.broadcastLocked(j)
-	}
+	resp.Tasks = c.grantLocked(j, worker, max)
 	resp.Complete = j.done == len(j.order)
+	if len(resp.Tasks) > 0 {
+		c.logfCtx(ctx, "grid: job %s: leased %d tasks to %s", j.id, len(resp.Tasks), worker)
+	}
 	return resp, nil
+}
+
+// LeaseAny grants up to max pending tasks from whichever job the fair
+// scheduler picks: the eligible job with the lowest granted-per-weight
+// share (see pickJobLocked). One call serves one job, so the worker
+// always computes a batch against a single spec.
+func (c *Coordinator) LeaseAny(ctx context.Context, worker string, max int) (GlobalLeaseResponse, error) {
+	c.metrics.leaseRequests.Inc()
+	// Absorb pending cache hits for every job first — an absorbed job
+	// may complete without ever dispatching work, which changes both
+	// eligibility and the AllComplete answer.
+	c.mu.Lock()
+	jobs := make([]*gridJob, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		jobs = append(jobs, j)
+	}
+	c.mu.Unlock()
+	for _, j := range jobs {
+		c.absorbCache(j)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var resp GlobalLeaseResponse
+	if c.draining {
+		c.touchWorkerLocked(worker)
+		resp.Draining = true
+		resp.AllComplete = c.allCompleteLocked()
+		return resp, nil
+	}
+	j := c.pickJobLocked()
+	if j == nil {
+		c.touchWorkerLocked(worker)
+		resp.AllComplete = c.allCompleteLocked()
+		return resp, nil
+	}
+	resp.Job = j.id
+	resp.Tasks = c.grantLocked(j, worker, max)
+	if len(resp.Tasks) > 0 {
+		c.logfCtx(ctx, "grid: job %s: leased %d tasks to %s (fair share %d/%d)",
+			j.id, len(resp.Tasks), worker, j.leasesGranted, j.weight)
+	}
+	return resp, nil
+}
+
+// allCompleteLocked reports whether at least one job exists and every
+// job's tasks are done.
+func (c *Coordinator) allCompleteLocked() bool {
+	if len(c.jobs) == 0 {
+		return false
+	}
+	for _, j := range c.jobs {
+		if j.done < len(j.order) {
+			return false
+		}
+	}
+	return true
 }
 
 // Heartbeat extends worker's leases and reports the ones it no longer
 // holds.
-func (c *Coordinator) Heartbeat(id string, req HeartbeatRequest) (HeartbeatResponse, error) {
+func (c *Coordinator) Heartbeat(ctx context.Context, id string, req HeartbeatRequest) (HeartbeatResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	j, err := c.getJob(id)
@@ -470,6 +672,7 @@ func (c *Coordinator) Heartbeat(id string, req HeartbeatRequest) (HeartbeatRespo
 		return HeartbeatResponse{}, err
 	}
 	c.expireLocked(j)
+	c.touchWorkerLocked(req.Worker)
 	deadline := c.now().Add(c.opts.leaseTTL())
 	var resp HeartbeatResponse
 	for _, tid := range req.Tasks {
@@ -494,7 +697,7 @@ func (c *Coordinator) Heartbeat(id string, req HeartbeatRequest) (HeartbeatRespo
 // upload racing a journalling first one is told to move on without
 // waiting for durability; if the first write then fails, the task
 // simply re-queues and re-runs.
-func (c *Coordinator) Ingest(id string, up ResultUpload) (ResultAck, error) {
+func (c *Coordinator) Ingest(ctx context.Context, id string, up ResultUpload) (ResultAck, error) {
 	c.mu.Lock()
 	j, err := c.getJob(id)
 	if err != nil {
@@ -504,7 +707,7 @@ func (c *Coordinator) Ingest(id string, up ResultUpload) (ResultAck, error) {
 	st, ok := j.tasks[up.Task]
 	if !ok {
 		c.mu.Unlock()
-		return ResultAck{}, fmt.Errorf("grid: job %s has no task %q", id, up.Task)
+		return ResultAck{}, fmt.Errorf("%w %q in job %s", errUnknownTask, up.Task, id)
 	}
 	if len(up.Values) != st.task.Hi-st.task.Lo {
 		c.mu.Unlock()
@@ -512,10 +715,16 @@ func (c *Coordinator) Ingest(id string, up ResultUpload) (ResultAck, error) {
 			up.Task, len(up.Values), st.task.Hi-st.task.Lo)
 	}
 	if st.status == taskDone || st.recording {
+		c.metrics.duplicates.Inc()
+		c.touchWorkerLocked(up.Worker)
 		c.mu.Unlock()
 		return ResultAck{Accepted: true, Duplicate: true}, nil
 	}
 	st.recording = true
+	var leaseLatency time.Duration
+	if st.status == taskLeased && !st.leasedAt.IsZero() {
+		leaseLatency = c.now().Sub(st.leasedAt)
+	}
 	cp, task := j.cp, st.task
 	c.mu.Unlock()
 
@@ -538,16 +747,105 @@ func (c *Coordinator) Ingest(id string, up ResultUpload) (ResultAck, error) {
 	defer c.mu.Unlock()
 	st.recording = false
 	if recErr != nil {
+		c.checkDrainedLocked()
 		return ResultAck{}, recErr
 	}
 	st.status = taskDone
 	st.worker = ""
 	j.results[up.Task] = []float64(up.Values)
 	j.done++
+	c.workerDoneLocked(up.Worker, time.Duration(up.ElapsedMS)*time.Millisecond)
+	c.metrics.tasksIngested.Inc()
+	c.metrics.valuesIngested.Add(float64(len(up.Values)))
+	if leaseLatency > 0 {
+		c.metrics.leaseLatency.Observe(leaseLatency.Seconds())
+	}
 	c.feedCacheLocked(j, st.task, []float64(up.Values))
 	c.finishIfCompleteLocked(j)
 	c.broadcastLocked(j)
+	c.checkDrainedLocked()
 	return ResultAck{Accepted: true}, nil
+}
+
+// --- Drain ---
+
+// Drain switches the coordinator into drain mode: lease calls stop
+// granting tasks (workers are told to exit), and once every in-flight
+// lease settles — its result uploads, or its TTL expires — the channel
+// from Drained closes. Serve exits cleanly at that point, which is the
+// graceful-restart story: POST /v1/drain (or SIGTERM in dsa-grid),
+// wait, restart on the same checkpoint dir, nothing is lost.
+func (c *Coordinator) Drain(ctx context.Context) {
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return
+	}
+	c.draining = true
+	inflight := 0
+	for _, j := range c.jobs {
+		for _, st := range j.tasks {
+			if st.status == taskLeased || st.recording {
+				inflight++
+			}
+		}
+		c.broadcastLocked(j)
+	}
+	c.logfCtx(ctx, "grid: draining: no new leases; %d in-flight tasks to settle", inflight)
+	c.checkDrainedLocked()
+	c.mu.Unlock()
+	go c.drainLoop()
+}
+
+// Draining reports whether Drain has been called.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// Drained returns a channel that closes once a drain has fully
+// settled (it never closes if Drain is never called).
+func (c *Coordinator) Drained() <-chan struct{} { return c.drainDone }
+
+// checkDrainedLocked closes the drain-complete channel once draining
+// and nothing is in flight anywhere.
+func (c *Coordinator) checkDrainedLocked() {
+	if !c.draining || c.drainClosed {
+		return
+	}
+	for _, j := range c.jobs {
+		for _, st := range j.tasks {
+			if st.status == taskLeased || st.recording {
+				return
+			}
+		}
+	}
+	c.drainClosed = true
+	close(c.drainDone)
+	c.logf("grid: drained: all in-flight work settled")
+}
+
+// drainLoop ticks lease expiry while draining, so the drain completes
+// even if every lease holder vanished and nothing else touches the
+// state. It reads the injectable clock for expiry decisions but paces
+// itself on wall time.
+func (c *Coordinator) drainLoop() {
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.drainDone:
+			return
+		case <-tick.C:
+		}
+		c.mu.Lock()
+		for _, j := range c.jobs {
+			c.expireLocked(j)
+		}
+		c.checkDrainedLocked()
+		c.mu.Unlock()
+	}
 }
 
 // CacheStats reports the coordinator's score cache counters; ok is
@@ -555,6 +853,12 @@ func (c *Coordinator) Ingest(id string, up ResultUpload) (ResultAck, error) {
 // cache's own Stats (internal/cache.Store provides them); a cache
 // without that method still works, it just reports zeros.
 func (c *Coordinator) CacheStats() (dsa.CacheStats, bool) {
+	return c.cacheStatsLocked()
+}
+
+// cacheStatsLocked is safe with or without c.mu held: it only touches
+// the cache, which has its own synchronization.
+func (c *Coordinator) cacheStatsLocked() (dsa.CacheStats, bool) {
 	if c.opts.Cache == nil {
 		return dsa.CacheStats{}, false
 	}
@@ -577,7 +881,10 @@ func (c *Coordinator) Progress(id string) (ProgressSnapshot, error) {
 }
 
 func (c *Coordinator) snapshotLocked(j *gridJob) ProgressSnapshot {
-	snap := ProgressSnapshot{JobID: j.id, Total: len(j.order), Done: j.done, Requeues: j.requeues, CacheTasks: j.cacheServed}
+	snap := ProgressSnapshot{
+		JobID: j.id, Total: len(j.order), Done: j.done, Requeues: j.requeues,
+		CacheTasks: j.cacheServed, LeasesGranted: j.leasesGranted, Priority: j.weight,
+	}
 	workers := map[string]bool{}
 	for _, st := range j.tasks {
 		switch st.status {
@@ -649,25 +956,172 @@ func (c *Coordinator) summaryLocked(j *gridJob) JobSummary {
 	return JobSummary{
 		ID: j.id, Domain: j.spec.Domain.Name(),
 		TotalTasks: len(j.order), DoneTasks: j.done,
+		Priority: j.weight,
 		Complete: j.done == len(j.order),
 	}
 }
 
 // --- HTTP layer ---
 
-// Handler returns the /v1 API handler.
+// Handler returns the full API handler: the /v1 JSON API, /metrics,
+// and the dashboard, wrapped in request-ID instrumentation, JSON
+// error normalization (no text/plain 404/405 pages) and — when
+// configured — per-client rate limiting. Auth, when configured, guards
+// the mutating endpoints per route.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/jobs", c.handleListJobs)
-	mux.HandleFunc("POST /v1/jobs", c.handleCreateJob)
+	mux.HandleFunc("POST /v1/jobs", c.authed(c.handleCreateJob))
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleGetJob)
-	mux.HandleFunc("POST /v1/jobs/{id}/lease", c.handleLease)
-	mux.HandleFunc("POST /v1/jobs/{id}/heartbeat", c.handleHeartbeat)
-	mux.HandleFunc("POST /v1/jobs/{id}/results", c.handleUpload)
+	mux.HandleFunc("POST /v1/jobs/{id}/lease", c.authed(c.handleLease))
+	mux.HandleFunc("POST /v1/lease", c.authed(c.handleLeaseAny))
+	mux.HandleFunc("POST /v1/jobs/{id}/heartbeat", c.authed(c.handleHeartbeat))
+	mux.HandleFunc("POST /v1/jobs/{id}/results", c.authed(c.handleUpload))
 	mux.HandleFunc("GET /v1/jobs/{id}/results", c.handleResults)
 	mux.HandleFunc("GET /v1/jobs/{id}/progress", c.handleProgress)
 	mux.HandleFunc("GET /v1/cache", c.handleCacheStats)
-	return mux
+	mux.HandleFunc("POST /v1/drain", c.authed(c.handleDrain))
+	mux.HandleFunc("GET /v1/dashboard", c.handleDashboard)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return gridobs.Instrument(c.rateLimited(jsonErrors(mux)), c.onRequestDone)
+}
+
+// authed guards one mutating route with the shared-secret token. The
+// compare hashes both sides first, so it is constant-time regardless
+// of the presented token's length.
+func (c *Coordinator) authed(h http.HandlerFunc) http.HandlerFunc {
+	if c.opts.AuthToken == "" {
+		return h
+	}
+	want := sha256.Sum256([]byte(c.opts.AuthToken))
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := sha256.Sum256([]byte(bearerToken(r)))
+		if subtle.ConstantTimeCompare(got[:], want[:]) != 1 {
+			c.metrics.authFailures.Inc()
+			w.Header().Set("WWW-Authenticate", `Bearer realm="grid"`)
+			writeJSON(w, http.StatusUnauthorized, errorBody{Error: "grid: missing or invalid auth token"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func bearerToken(r *http.Request) string {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) {
+		return auth[len(prefix):]
+	}
+	return ""
+}
+
+// rateLimited applies per-client token-bucket admission to the /v1 API
+// (metrics scrapes are never limited — observability must survive the
+// very overload it is for). Clients are keyed by remote IP.
+func (c *Coordinator) rateLimited(next http.Handler) http.Handler {
+	if !c.limiter.Enabled() {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := r.RemoteAddr
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			key = host
+		}
+		if !c.limiter.Allow(key) {
+			c.metrics.rateLimited.Inc()
+			after := int(math.Ceil(c.limiter.RetryAfter(key).Seconds()))
+			if after < 1 {
+				after = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(after))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "grid: rate limit exceeded, retry later"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// jsonErrors rewrites the mux's text/plain 404 and 405 pages into the
+// API's structured JSON error shape, so every error a client can
+// receive — wrong path, wrong method, bad body, unknown job — has the
+// same {"error": ...} contract. Responses that already chose their
+// own content type (our handlers) pass through untouched.
+func jsonErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+	})
+}
+
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	intercepted bool
+	wroteHeader bool
+}
+
+func (w *jsonErrorWriter) WriteHeader(code int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.Contains(w.Header().Get("Content-Type"), "json") {
+		w.intercepted = true
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		h.Del("Content-Length")
+		w.ResponseWriter.WriteHeader(code)
+		msg := "grid: not found"
+		if code == http.StatusMethodNotAllowed {
+			msg = "grid: method not allowed"
+		}
+		body, _ := json.Marshal(errorBody{Error: msg})
+		w.ResponseWriter.Write(append(body, '\n'))
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *jsonErrorWriter) Write(p []byte) (int, error) {
+	if w.intercepted {
+		// Swallow the mux's text body; ours is already written.
+		return len(p), nil
+	}
+	if !w.wroteHeader {
+		w.wroteHeader = true
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so NDJSON progress streams
+// keep flushing through the wrapper.
+func (w *jsonErrorWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", gridobs.TextContentType)
+	c.metrics.reg.WritePrometheus(w)
+}
+
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	c.Drain(r.Context())
+	c.mu.Lock()
+	inflight := 0
+	for _, j := range c.jobs {
+		for _, st := range j.tasks {
+			if st.status == taskLeased || st.recording {
+				inflight++
+			}
+		}
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, DrainResponse{Draining: true, InFlight: inflight})
 }
 
 func (c *Coordinator) handleCacheStats(w http.ResponseWriter, r *http.Request) {
@@ -690,14 +1144,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
-	if errors.Is(err, errUnknownJob) {
+	switch {
+	case errors.Is(err, errUnknownJob), errors.Is(err, errUnknownTask):
 		status = http.StatusNotFound
+	case errors.Is(err, errDraining):
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(v); err != nil {
+// readBody decodes a JSON request body, bounded by MaxBody: oversized
+// bodies answer 413, malformed ones 400 — always as structured JSON.
+func (c *Coordinator) readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, c.opts.maxBody())
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("grid: request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
 		writeError(w, fmt.Errorf("grid: bad request body: %w", err))
 		return false
 	}
@@ -710,7 +1176,7 @@ func (c *Coordinator) handleListJobs(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	var req CreateJobRequest
-	if !readBody(w, r, &req) {
+	if !c.readBody(w, r, &req) {
 		return
 	}
 	spec, err := job.DecodeSpec(req.Spec)
@@ -718,7 +1184,11 @@ func (c *Coordinator) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	id, err := c.AddJob(spec)
+	priority := req.Priority
+	if priority == 0 {
+		priority = 1
+	}
+	id, err := c.AddJobPriority(spec, priority)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -744,10 +1214,23 @@ func (c *Coordinator) handleGetJob(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
-	if !readBody(w, r, &req) {
+	if !c.readBody(w, r, &req) {
 		return
 	}
-	resp, err := c.Lease(r.PathValue("id"), req.Worker, req.MaxTasks)
+	resp, err := c.Lease(r.Context(), r.PathValue("id"), req.Worker, req.MaxTasks)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleLeaseAny(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !c.readBody(w, r, &req) {
+		return
+	}
+	resp, err := c.LeaseAny(r.Context(), req.Worker, req.MaxTasks)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -757,10 +1240,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req HeartbeatRequest
-	if !readBody(w, r, &req) {
+	if !c.readBody(w, r, &req) {
 		return
 	}
-	resp, err := c.Heartbeat(r.PathValue("id"), req)
+	resp, err := c.Heartbeat(r.Context(), r.PathValue("id"), req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -770,10 +1253,10 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleUpload(w http.ResponseWriter, r *http.Request) {
 	var up ResultUpload
-	if !readBody(w, r, &up) {
+	if !c.readBody(w, r, &up) {
 		return
 	}
-	ack, err := c.Ingest(r.PathValue("id"), up)
+	ack, err := c.Ingest(r.Context(), r.PathValue("id"), up)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -806,7 +1289,7 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "text/csv")
 		if err := writeCSV(w, d, scores); err != nil {
-			c.logf("grid: job %s: csv render: %v", id, err)
+			c.logfCtx(r.Context(), "grid: job %s: csv render: %v", id, err)
 		}
 		return
 	}
@@ -867,9 +1350,11 @@ func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Serve listens on addr and serves the API until ctx is cancelled.
-// onListen (if non-nil) receives the bound address before serving —
-// useful with ":0".
+// Serve listens on addr and serves the API until ctx is cancelled or a
+// drain completes (POST /v1/drain, or Drain called directly) — the
+// latter exits cleanly after in-flight work settles. onListen (if
+// non-nil) receives the bound address before serving — useful with
+// ":0".
 func (c *Coordinator) Serve(ctx context.Context, addr string, onListen func(addr string)) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -883,11 +1368,13 @@ func (c *Coordinator) Serve(ctx context.Context, addr string, onListen func(addr
 	go func() {
 		select {
 		case <-ctx.Done():
-			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			srv.Shutdown(shutCtx)
+		case <-c.Drained():
 		case <-stopped:
+			return
 		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
 	}()
 	err = srv.Serve(ln)
 	close(stopped)

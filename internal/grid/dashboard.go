@@ -1,0 +1,205 @@
+package grid
+
+import (
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/dsa"
+)
+
+// The dashboard is the human view of the same state /metrics exports:
+// one self-refreshing HTML page, no JS frameworks, no assets, so it
+// works from curl -L, a phone, or a locked-down ops box. It is
+// deliberately read-only — operators drive the grid through the API.
+
+type dashboardData struct {
+	Now       string
+	Uptime    string
+	Draining  bool
+	Jobs      []dashboardJob
+	Workers   []dashboardWorker
+	HasCache  bool
+	Cache     dsa.CacheStats
+	HitRatio  string
+	AuthOn    bool
+	RateLimit float64
+}
+
+type dashboardJob struct {
+	ID       string
+	Domain   string
+	Priority int
+	Done     int
+	Total    int
+	Pending  int
+	Leased   int
+	Requeues int
+	Cached   int
+	Granted  int
+	Percent  float64
+	ETA      string
+	Complete bool
+}
+
+type dashboardWorker struct {
+	Name     string
+	Live     bool
+	Leased   int
+	Done     uint64
+	Failures uint64
+	Latency  string
+	FailRate string
+	LastSeen string
+}
+
+func (c *Coordinator) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	now := c.now()
+	data := dashboardData{
+		Now:       now.Format(time.RFC3339),
+		Uptime:    time.Since(c.started).Round(time.Second).String(),
+		Draining:  c.draining,
+		AuthOn:    c.opts.AuthToken != "",
+		RateLimit: c.opts.RateLimit,
+	}
+	ids := make([]string, 0, len(c.jobs))
+	for id := range c.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := c.jobs[id]
+		c.expireLocked(j)
+		snap := c.snapshotLocked(j)
+		dj := dashboardJob{
+			ID: id, Domain: j.spec.Domain.Name(), Priority: j.weight,
+			Done: snap.Done, Total: snap.Total, Pending: snap.Pending,
+			Leased: snap.Leased, Requeues: snap.Requeues, Cached: snap.CacheTasks,
+			Granted: snap.LeasesGranted, Complete: snap.Complete,
+		}
+		if snap.Total > 0 {
+			dj.Percent = 100 * float64(snap.Done) / float64(snap.Total)
+		}
+		switch eta := c.etaLocked(j, now); {
+		case snap.Complete:
+			dj.ETA = "done"
+		case math.IsNaN(eta):
+			dj.ETA = "—"
+		default:
+			dj.ETA = (time.Duration(eta * float64(time.Second))).Round(time.Second).String()
+		}
+		data.Jobs = append(data.Jobs, dj)
+	}
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cutoff := now.Add(-livenessTTLs * c.opts.leaseTTL())
+	for _, name := range names {
+		ws := c.workers[name]
+		dw := dashboardWorker{
+			Name: name, Live: ws.lastSeen.After(cutoff), Leased: ws.leased,
+			Done: ws.done, Failures: ws.failures,
+			LastSeen: now.Sub(ws.lastSeen).Round(time.Second).String() + " ago",
+		}
+		if ws.latEWMA > 0 {
+			dw.Latency = (time.Duration(ws.latEWMA * float64(time.Second))).Round(time.Millisecond).String()
+		} else {
+			dw.Latency = "—"
+		}
+		dw.FailRate = formatPercent(ws.failEWMA)
+		data.Workers = append(data.Workers, dw)
+	}
+	if stats, ok := c.cacheStatsLocked(); ok {
+		data.HasCache = true
+		data.Cache = stats
+		if total := stats.Hits + stats.Misses; total > 0 {
+			data.HitRatio = formatPercent(float64(stats.Hits) / float64(total))
+		} else {
+			data.HitRatio = "—"
+		}
+	}
+	c.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dashboardTmpl.Execute(w, data); err != nil {
+		c.logfCtx(r.Context(), "grid: dashboard render: %v", err)
+	}
+}
+
+func formatPercent(v float64) string {
+	if math.IsNaN(v) {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>dsa-grid dashboard</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #1a1a1a; background: #fafafa; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.8rem; }
+table { border-collapse: collapse; background: #fff; box-shadow: 0 1px 2px rgba(0,0,0,.08); }
+th, td { padding: .35rem .7rem; border: 1px solid #e2e2e2; text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #f0f0f0; }
+.bar { background: #e8e8e8; border-radius: 3px; width: 10rem; height: .8rem; display: inline-block; vertical-align: middle; }
+.bar > i { background: #4a90d9; border-radius: 3px; height: 100%; display: block; }
+.done .bar > i { background: #3cab5a; }
+.pill { padding: .1rem .5rem; border-radius: 999px; font-size: .8rem; }
+.live { background: #d9f2e0; color: #1e7a3c; } .dead { background: #f7d9d9; color: #9b2c2c; }
+.drain { background: #fff3cd; border: 1px solid #e6cf7a; padding: .6rem 1rem; border-radius: 4px; margin: 1rem 0; }
+.meta { color: #666; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>dsa-grid coordinator</h1>
+<p class="meta">up {{.Uptime}} · {{.Now}} · auth {{if .AuthOn}}on{{else}}off{{end}} · rate limit {{if .RateLimit}}{{.RateLimit}}/s per client{{else}}off{{end}} · <a href="/metrics">/metrics</a></p>
+{{if .Draining}}<div class="drain">Draining: no new leases; the coordinator exits once in-flight leases settle.</div>{{end}}
+
+<h2>Jobs</h2>
+{{if .Jobs}}
+<table>
+<tr><th>job</th><th>domain</th><th>priority</th><th>progress</th><th>done</th><th>pending</th><th>leased</th><th>requeues</th><th>cache-served</th><th>granted</th><th>ETA</th></tr>
+{{range .Jobs}}
+<tr{{if .Complete}} class="done"{{end}}>
+<td><code>{{.ID}}</code></td><td>{{.Domain}}</td><td>{{.Priority}}</td>
+<td><span class="bar"><i style="width:{{printf "%.1f" .Percent}}%"></i></span> {{printf "%.1f" .Percent}}%</td>
+<td>{{.Done}}/{{.Total}}</td><td>{{.Pending}}</td><td>{{.Leased}}</td><td>{{.Requeues}}</td><td>{{.Cached}}</td><td>{{.Granted}}</td><td>{{.ETA}}</td>
+</tr>
+{{end}}
+</table>
+{{else}}<p class="meta">No jobs registered.</p>{{end}}
+
+<h2>Workers</h2>
+{{if .Workers}}
+<table>
+<tr><th>worker</th><th>status</th><th>on lease</th><th>done</th><th>expiries</th><th>latency (EWMA)</th><th>failure rate (EWMA)</th><th>last seen</th></tr>
+{{range .Workers}}
+<tr>
+<td><code>{{.Name}}</code></td>
+<td>{{if .Live}}<span class="pill live">live</span>{{else}}<span class="pill dead">gone</span>{{end}}</td>
+<td>{{.Leased}}</td><td>{{.Done}}</td><td>{{.Failures}}</td><td>{{.Latency}}</td><td>{{.FailRate}}</td><td>{{.LastSeen}}</td>
+</tr>
+{{end}}
+</table>
+{{else}}<p class="meta">No workers seen yet.</p>{{end}}
+
+{{if .HasCache}}
+<h2>Score cache</h2>
+<table>
+<tr><th>entries</th><th>hits</th><th>misses</th><th>hit ratio</th><th>puts</th><th>evictions</th></tr>
+<tr><td>{{.Cache.Entries}}</td><td>{{.Cache.Hits}}</td><td>{{.Cache.Misses}}</td><td>{{.HitRatio}}</td><td>{{.Cache.Puts}}</td><td>{{.Cache.Evictions}}</td></tr>
+</table>
+{{end}}
+</body>
+</html>
+`))

@@ -40,6 +40,18 @@
 //	GET  /v1/jobs/{id}/progress    — snapshot, or ?stream=1 for NDJSON
 //	                                 snapshots until the job completes
 //	GET  /v1/cache                 — cross-job score cache counters
+//	POST /v1/lease                 — lease from whichever job the fair
+//	                                 scheduler picks (multi-job workers)
+//	POST /v1/drain                 — stop granting leases; settle and exit
+//	GET  /v1/dashboard             — live HTML operations dashboard
+//	GET  /metrics                  — Prometheus text exposition
+//
+// Production hardening: every error (wrong path, wrong method, bad
+// body, unknown job) is structured JSON; request bodies are bounded
+// (413 past the cap); an optional shared-secret bearer token guards the
+// mutating endpoints; optional per-client token-bucket rate limiting
+// answers 429 + Retry-After; and every response carries an
+// X-Request-ID that the coordinator's event log lines repeat.
 //
 // With CoordinatorOptions.Cache set, the coordinator also memoizes:
 // every ingested result feeds a cross-job content-addressed score
@@ -54,6 +66,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"time"
@@ -68,6 +81,7 @@ type JobSummary struct {
 	Domain     string `json:"domain"`
 	TotalTasks int    `json:"total_tasks"`
 	DoneTasks  int    `json:"done_tasks"`
+	Priority   int    `json:"priority"`
 	Complete   bool   `json:"complete"`
 }
 
@@ -88,6 +102,11 @@ type jobsResponse struct {
 // the existing job.
 type CreateJobRequest struct {
 	Spec json.RawMessage `json:"spec"`
+	// Priority is the job's fair-share scheduling weight: against other
+	// concurrent jobs it receives leased tasks in proportion to this
+	// weight. 0 (or absent) means 1. Re-posting an existing job with a
+	// different priority updates the weight.
+	Priority int `json:"priority,omitempty"`
 }
 
 // LeaseRequest asks for up to MaxTasks pending tasks on behalf of
@@ -108,10 +127,31 @@ type LeaseTask struct {
 }
 
 // LeaseResponse carries the granted leases. Complete means every task
-// is done — workers should exit rather than poll again.
+// is done — workers should exit rather than poll again. Draining means
+// the coordinator is shutting down gracefully and grants nothing;
+// workers should exit and reconnect to the restarted coordinator.
 type LeaseResponse struct {
 	Tasks    []LeaseTask `json:"tasks"`
 	Complete bool        `json:"complete"`
+	Draining bool        `json:"draining,omitempty"`
+}
+
+// GlobalLeaseResponse answers POST /v1/lease: tasks from whichever job
+// the fair scheduler picked (all tasks in one response belong to Job).
+// AllComplete means every registered job is done; Draining as in
+// LeaseResponse.
+type GlobalLeaseResponse struct {
+	Job         string      `json:"job"`
+	Tasks       []LeaseTask `json:"tasks"`
+	AllComplete bool        `json:"all_complete"`
+	Draining    bool        `json:"draining,omitempty"`
+}
+
+// DrainResponse answers POST /v1/drain: the coordinator stops granting
+// leases and will exit once InFlight leases settle (upload or expire).
+type DrainResponse struct {
+	Draining bool `json:"draining"`
+	InFlight int  `json:"in_flight"`
 }
 
 // HeartbeatRequest extends Worker's leases on Tasks.
@@ -199,10 +239,12 @@ type ProgressSnapshot struct {
 	Done     int    `json:"done_tasks"`
 	Leased   int    `json:"leased_tasks"`
 	Pending  int    `json:"pending_tasks"`
-	Requeues   int  `json:"requeues"`    // leases that expired back to pending
-	Workers    int  `json:"workers"`     // workers holding a live lease
-	CacheTasks int  `json:"cache_tasks"` // tasks served from the score cache, never dispatched
-	Complete   bool `json:"complete"`
+	Requeues      int  `json:"requeues"`       // leases that expired back to pending
+	Workers       int  `json:"workers"`        // workers holding a live lease
+	CacheTasks    int  `json:"cache_tasks"`    // tasks served from the score cache, never dispatched
+	LeasesGranted int  `json:"leases_granted"` // tasks handed out on leases, re-leases included
+	Priority      int  `json:"priority"`       // fair-share weight
+	Complete      bool `json:"complete"`
 }
 
 // CacheStatsResponse is served by GET /v1/cache: the coordinator's
@@ -239,15 +281,62 @@ const (
 	DefaultHTTPTimeout = 60 * time.Second
 
 	// clientAttempts and clientRetryBase shape the retry schedule:
-	// attempts at 0, 250ms, 500ms, 1s — enough to ride out a
-	// coordinator restart without masking a real outage for long.
+	// exponential ceilings of 250ms, 500ms, 1s between the 4 attempts
+	// — enough to ride out a coordinator restart without masking a
+	// real outage for long. The actual sleep before each retry is
+	// *full jitter* over the ceiling (uniform in [0, ceiling]): when a
+	// whole fleet of workers gets 5xx/429 from the same hiccup at the
+	// same instant, deterministic backoff would march them back in
+	// lockstep and re-create the stampede every period; jitter spreads
+	// the retries across the window.
 	clientAttempts  = 4
 	clientRetryBase = 250 * time.Millisecond
 )
 
+// retryDelay computes the sleep before retry attempt n (n >= 1): full
+// jitter over an exponential ceiling. A package variable so tests can
+// pin or record it.
+var retryDelay = func(attempt int) time.Duration {
+	ceiling := clientRetryBase << (attempt - 1)
+	return time.Duration(rand.Int64N(int64(ceiling) + 1))
+}
+
 // defaultClient returns the client used when callers pass nil.
 func defaultClient() *http.Client {
 	return &http.Client{Timeout: DefaultHTTPTimeout}
+}
+
+// authTransport injects the grid shared-secret bearer token into every
+// request it carries.
+type authTransport struct {
+	token string
+	base  http.RoundTripper
+}
+
+func (t *authTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Per the RoundTripper contract, the request must not be mutated.
+	clone := req.Clone(req.Context())
+	clone.Header.Set("Authorization", "Bearer "+t.token)
+	return t.base.RoundTrip(clone)
+}
+
+// AuthTransport wraps base (nil = http.DefaultTransport) so every
+// request carries `Authorization: Bearer token` — the client half of
+// CoordinatorOptions.AuthToken. An empty token returns base unchanged.
+func AuthTransport(token string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if token == "" {
+		return base
+	}
+	return &authTransport{token: token, base: base}
+}
+
+// NewClient returns an *http.Client with the default timeout that
+// authenticates with token (which may be empty for an open grid).
+func NewClient(token string) *http.Client {
+	return &http.Client{Timeout: DefaultHTTPTimeout, Transport: AuthTransport(token, nil)}
 }
 
 func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
@@ -275,7 +364,7 @@ func doJSON(ctx context.Context, client *http.Client, method, url string, in, ou
 	for attempt := 0; attempt < clientAttempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(clientRetryBase << (attempt - 1)):
+			case <-time.After(retryDelay(attempt)):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
@@ -313,15 +402,16 @@ func doJSON(ctx context.Context, client *http.Client, method, url string, in, ou
 }
 
 // decodeResponse reads and decodes one response, classifying failures:
-// 5xx and body-read errors are transient (retryable), 4xx and
-// malformed-success bodies are not.
+// 5xx, 429 (rate limited — the jittered backoff is exactly the pacing
+// the limiter asks for) and body-read errors are transient (retryable);
+// other 4xx and malformed-success bodies are not.
 func decodeResponse(resp *http.Response, url string, out any) (retryable bool, err error) {
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return true, fmt.Errorf("grid: read %s: %w", url, err)
 	}
 	if resp.StatusCode/100 != 2 {
-		retryable = resp.StatusCode >= 500
+		retryable = resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
 		var eb errorBody
 		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
 			return retryable, fmt.Errorf("grid: %s: %s (HTTP %d)", url, eb.Error, resp.StatusCode)

@@ -285,7 +285,7 @@ func TestLeaseStateMachine(t *testing.T) {
 		t.Fatalf("AddJob is not idempotent: %s vs %s (err %v)", again, id, err)
 	}
 
-	lease, err := coord.Lease(id, "w1", 10)
+	lease, err := coord.Lease(context.Background(), id, "w1", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestLeaseStateMachine(t *testing.T) {
 
 	// Heartbeat within the TTL renews; an unknown task is lost.
 	now = now.Add(30 * time.Second)
-	hb, err := coord.Heartbeat(id, HeartbeatRequest{Worker: "w1", Tasks: []string{lease.Tasks[0].Task, "nope"}})
+	hb, err := coord.Heartbeat(context.Background(), id, HeartbeatRequest{Worker: "w1", Tasks: []string{lease.Tasks[0].Task, "nope"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +315,7 @@ func TestLeaseStateMachine(t *testing.T) {
 	}
 
 	// The expired task is re-leasable by another worker...
-	lease2, err := coord.Lease(id, "w2", 10)
+	lease2, err := coord.Lease(context.Background(), id, "w2", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +323,7 @@ func TestLeaseStateMachine(t *testing.T) {
 		t.Fatalf("w2 should lease the re-queued + remaining tasks, got %d", len(lease2.Tasks))
 	}
 	// ...and w1's original heartbeat on it now reports it lost.
-	hb, err = coord.Heartbeat(id, HeartbeatRequest{Worker: "w1", Tasks: []string{lease.Tasks[1].Task}})
+	hb, err = coord.Heartbeat(context.Background(), id, HeartbeatRequest{Worker: "w1", Tasks: []string{lease.Tasks[1].Task}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,22 +334,22 @@ func TestLeaseStateMachine(t *testing.T) {
 	// Ingest validates value counts, accepts the first result, and
 	// drops duplicates.
 	lt := lease.Tasks[0]
-	if _, err := coord.Ingest(id, ResultUpload{Task: lt.Task, Values: []float64{1}}); err == nil {
+	if _, err := coord.Ingest(context.Background(), id, ResultUpload{Task: lt.Task, Values: []float64{1}}); err == nil {
 		t.Fatal("short value vector should be rejected")
 	}
 	vals := make([]float64, lt.Hi-lt.Lo)
-	ack, err := coord.Ingest(id, ResultUpload{Task: lt.Task, Values: vals})
+	ack, err := coord.Ingest(context.Background(), id, ResultUpload{Task: lt.Task, Values: vals})
 	if err != nil || !ack.Accepted || ack.Duplicate {
 		t.Fatalf("first ingest: ack %+v err %v", ack, err)
 	}
-	ack, err = coord.Ingest(id, ResultUpload{Task: lt.Task, Values: vals})
+	ack, err = coord.Ingest(context.Background(), id, ResultUpload{Task: lt.Task, Values: vals})
 	if err != nil || !ack.Accepted || !ack.Duplicate {
 		t.Fatalf("second ingest should be a dropped duplicate: ack %+v err %v", ack, err)
 	}
-	if _, err := coord.Ingest(id, ResultUpload{Task: "nope", Values: vals}); err == nil {
+	if _, err := coord.Ingest(context.Background(), id, ResultUpload{Task: "nope", Values: vals}); err == nil {
 		t.Fatal("unknown task should be rejected")
 	}
-	if _, err := coord.Lease("nope", "w1", 1); !errors.Is(err, errUnknownJob) {
+	if _, err := coord.Lease(context.Background(), "nope", "w1", 1); !errors.Is(err, errUnknownJob) {
 		t.Fatalf("unknown job: err = %v", err)
 	}
 }
@@ -369,7 +369,7 @@ func TestNonFiniteValuesOverTheWire(t *testing.T) {
 	defer srv.Close()
 
 	ctx := context.Background()
-	lease, err := coord.Lease(id, "w", 100)
+	lease, err := coord.Lease(context.Background(), id, "w", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,12 +438,12 @@ func TestProgressStream(t *testing.T) {
 
 	// Complete every task by direct ingest; the stream must end with a
 	// complete snapshot and EOF.
-	lease, err := coord.Lease(id, "w", 100)
+	lease, err := coord.Lease(context.Background(), id, "w", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, lt := range lease.Tasks {
-		if _, err := coord.Ingest(id, ResultUpload{Task: lt.Task, Values: make([]float64, lt.Hi-lt.Lo)}); err != nil {
+		if _, err := coord.Ingest(context.Background(), id, ResultUpload{Task: lt.Task, Values: make([]float64, lt.Hi-lt.Lo)}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,184 @@
+package grid
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/gridobs"
+)
+
+// gridMetrics is every instrument the coordinator exports on
+// GET /metrics. Counters and histograms are bumped inline on the hot
+// paths; state-shaped gauges (queue depths, worker liveness, cache
+// ratios, ETAs) are refreshed by a collect hook at scrape time so a
+// scrape always sees current truth without a background updater.
+type gridMetrics struct {
+	reg *gridobs.Registry
+
+	leaseRequests  *gridobs.Counter
+	leasesGranted  *gridobs.Counter
+	tasksIngested  *gridobs.Counter
+	valuesIngested *gridobs.Counter
+	duplicates     *gridobs.Counter
+	requeues       *gridobs.Counter
+	cacheServed    *gridobs.Counter
+	authFailures   *gridobs.Counter
+	rateLimited    *gridobs.Counter
+	httpRequests   *gridobs.CounterVec // code
+	leaseLatency   *gridobs.Histogram
+	httpDuration   *gridobs.Histogram
+
+	jobTasks      *gridobs.GaugeVec // job, state
+	jobETA        *gridobs.GaugeVec // job
+	jobPriority   *gridobs.GaugeVec // job
+	workerLive    *gridobs.GaugeVec // worker
+	workerLatency *gridobs.GaugeVec // worker
+	workerFailure *gridobs.GaugeVec // worker
+	workersLive   *gridobs.Gauge
+	jobsTotal     *gridobs.Gauge
+	jobsComplete  *gridobs.Gauge
+	draining      *gridobs.Gauge
+	cacheHits     *gridobs.Gauge
+	cacheMisses   *gridobs.Gauge
+	cacheEntries  *gridobs.Gauge
+	cacheHitRatio *gridobs.Gauge
+}
+
+func newGridMetrics(c *Coordinator) *gridMetrics {
+	r := gridobs.NewRegistry()
+	m := &gridMetrics{
+		reg: r,
+
+		leaseRequests:  r.NewCounter("grid_lease_requests_total", "Lease calls received (including empty grants)."),
+		leasesGranted:  r.NewCounter("grid_leases_granted_total", "Tasks handed out on leases (re-leases included)."),
+		tasksIngested:  r.NewCounter("grid_tasks_ingested_total", "Task results accepted and journalled."),
+		valuesIngested: r.NewCounter("grid_values_ingested_total", "Individual point scores ingested — the ingest throughput counter."),
+		duplicates:     r.NewCounter("grid_duplicate_uploads_total", "Uploads dropped as idempotent duplicates."),
+		requeues:       r.NewCounter("grid_lease_expiries_total", "Leases that expired and re-queued their task."),
+		cacheServed:    r.NewCounter("grid_cache_served_tasks_total", "Tasks served from the cross-job score cache without being leased."),
+		authFailures:   r.NewCounter("grid_auth_failures_total", "Requests rejected for a missing or wrong auth token."),
+		rateLimited:    r.NewCounter("grid_ratelimited_total", "Requests rejected by per-client rate limiting."),
+		httpRequests:   r.NewCounterVec("grid_http_requests_total", "HTTP requests served, by status code.", "code"),
+		leaseLatency: r.NewHistogram("grid_lease_latency_seconds",
+			"Per-task lease latency: lease grant to result ingest.", gridobs.DefBuckets),
+		httpDuration: r.NewHistogram("grid_http_request_duration_seconds",
+			"HTTP request handling time.", gridobs.DefBuckets),
+
+		jobTasks:      r.NewGaugeVec("grid_job_tasks", "Per-job task counts by state — pending is the queue depth.", "job", "state"),
+		jobETA:        r.NewGaugeVec("grid_job_eta_seconds", "Estimated seconds until the job completes, from its observed completion rate. NaN before any progress.", "job"),
+		jobPriority:   r.NewGaugeVec("grid_job_priority", "Fair-share scheduling weight.", "job"),
+		workerLive:    r.NewGaugeVec("grid_worker_live", "1 if the worker was heard from within the liveness window.", "worker"),
+		workerLatency: r.NewGaugeVec("grid_worker_latency_seconds", "EWMA of the worker's per-task wall time.", "worker"),
+		workerFailure: r.NewGaugeVec("grid_worker_failure_ratio", "EWMA of the worker's lease-expiry rate (0 reliable, 1 failing).", "worker"),
+		workersLive:   r.NewGauge("grid_workers_live", "Workers heard from within the liveness window."),
+		jobsTotal:     r.NewGauge("grid_jobs", "Jobs registered."),
+		jobsComplete:  r.NewGauge("grid_jobs_complete", "Jobs with every task done."),
+		draining:      r.NewGauge("grid_draining", "1 while the coordinator is draining (no new leases)."),
+		cacheHits:     r.NewGauge("grid_cache_hits", "Score cache hits (cumulative, from the cache's own counters)."),
+		cacheMisses:   r.NewGauge("grid_cache_misses", "Score cache misses (cumulative)."),
+		cacheEntries:  r.NewGauge("grid_cache_entries", "Distinct keys in the score cache."),
+		cacheHitRatio: r.NewGauge("grid_cache_hit_ratio", "hits / (hits + misses); NaN before any lookup."),
+	}
+	r.NewGaugeFunc("grid_uptime_seconds", "Seconds since the coordinator started.", func() float64 {
+		return time.Since(c.started).Seconds()
+	})
+	r.OnCollect(func() { c.collectGauges(m) })
+	return m
+}
+
+// collectGauges refreshes every state-shaped gauge from coordinator
+// state; it runs at scrape time (and for the dashboard).
+func (c *Coordinator) collectGauges(m *gridMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+
+	m.jobTasks.Reset()
+	m.jobETA.Reset()
+	m.jobPriority.Reset()
+	complete := 0
+	for id, j := range c.jobs {
+		c.expireLocked(j)
+		snap := c.snapshotLocked(j)
+		m.jobTasks.With(id, "pending").Set(float64(snap.Pending))
+		m.jobTasks.With(id, "leased").Set(float64(snap.Leased))
+		m.jobTasks.With(id, "done").Set(float64(snap.Done))
+		m.jobTasks.With(id, "total").Set(float64(snap.Total))
+		m.jobETA.With(id).Set(c.etaLocked(j, now))
+		m.jobPriority.With(id).Set(float64(j.weight))
+		if snap.Complete {
+			complete++
+		}
+	}
+	m.jobsTotal.Set(float64(len(c.jobs)))
+	m.jobsComplete.Set(float64(complete))
+
+	m.workerLive.Reset()
+	m.workerLatency.Reset()
+	m.workerFailure.Reset()
+	cutoff := now.Add(-livenessTTLs * c.opts.leaseTTL())
+	for name, ws := range c.workers {
+		live := 0.0
+		if ws.lastSeen.After(cutoff) {
+			live = 1
+		}
+		m.workerLive.With(name).Set(live)
+		m.workerLatency.With(name).Set(ws.latEWMA)
+		m.workerFailure.With(name).Set(ws.failEWMA)
+	}
+	m.workersLive.Set(float64(c.liveWorkersLocked()))
+
+	if c.draining {
+		m.draining.Set(1)
+	} else {
+		m.draining.Set(0)
+	}
+
+	if stats, ok := c.cacheStatsLocked(); ok {
+		m.cacheHits.Set(float64(stats.Hits))
+		m.cacheMisses.Set(float64(stats.Misses))
+		m.cacheEntries.Set(float64(stats.Entries))
+		if total := stats.Hits + stats.Misses; total > 0 {
+			m.cacheHitRatio.Set(float64(stats.Hits) / float64(total))
+		} else {
+			m.cacheHitRatio.Set(math.NaN())
+		}
+	}
+}
+
+// etaLocked estimates seconds to completion from the job's observed
+// rate: tasks completed since work actually started (checkpoint
+// restores don't count — they were free). NaN before any progress, 0
+// once complete.
+func (c *Coordinator) etaLocked(j *gridJob, now time.Time) float64 {
+	if j.done == len(j.order) {
+		return 0
+	}
+	progressed := j.done - j.restored
+	if progressed <= 0 || j.startedAt.IsZero() {
+		return math.NaN()
+	}
+	elapsed := now.Sub(j.startedAt).Seconds()
+	if elapsed <= 0 {
+		return math.NaN()
+	}
+	rate := float64(progressed) / elapsed
+	return float64(len(j.order)-j.done) / rate
+}
+
+// onRequestDone is the access-log + HTTP-metrics sink wired into
+// gridobs.Instrument: one structured line per request (request ID
+// first so operators can grep a request's whole trail) and the
+// by-status-code counter.
+func (c *Coordinator) onRequestDone(ai gridobs.AccessInfo) {
+	c.metrics.httpRequests.With(strconv.Itoa(ai.Status)).Inc()
+	c.metrics.httpDuration.Observe(ai.Elapsed.Seconds())
+	// Progress streams and dashboards poll; logging every 200 GET
+	// would drown the event log. Errors always log.
+	if ai.Status < 400 && (ai.Method == "GET" || ai.Path == "/metrics") {
+		return
+	}
+	c.logf("grid: rid=%s %s %s -> %d (%dB in %s) from %s",
+		ai.RequestID, ai.Method, ai.Path, ai.Status, ai.Bytes, ai.Elapsed.Round(time.Millisecond), ai.Remote)
+}

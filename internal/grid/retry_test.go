@@ -1,0 +1,125 @@
+package grid
+
+// Client retry behavior: full-jitter backoff on transient failures
+// (5xx and 429), verified against a flaky httptest server that counts
+// and timestamps arrivals.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRetryDelayFullJitter pins the shape of the backoff: each retry's
+// sleep is uniform over [0, ceiling] with the ceiling doubling per
+// attempt — and it actually varies (the whole point of jitter).
+func TestRetryDelayFullJitter(t *testing.T) {
+	for attempt := 1; attempt <= 3; attempt++ {
+		ceiling := clientRetryBase << (attempt - 1)
+		distinct := map[time.Duration]bool{}
+		for i := 0; i < 64; i++ {
+			d := retryDelay(attempt)
+			if d < 0 || d > ceiling {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, ceiling)
+			}
+			distinct[d] = true
+		}
+		if len(distinct) < 8 {
+			t.Fatalf("attempt %d: only %d distinct delays over 64 samples — not jittered", attempt, len(distinct))
+		}
+	}
+}
+
+// flakyServer answers failStatus for the first failCount requests and
+// then serves a valid empty jobs listing, recording arrival times.
+func flakyServer(failCount int, failStatus int) (*httptest.Server, *struct {
+	sync.Mutex
+	arrivals []time.Time
+}) {
+	state := &struct {
+		sync.Mutex
+		arrivals []time.Time
+	}{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		state.Lock()
+		state.arrivals = append(state.arrivals, time.Now())
+		n := len(state.arrivals)
+		state.Unlock()
+		if n <= failCount {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(failStatus)
+			w.Write([]byte(`{"error":"transient"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"jobs":[]}`))
+	}))
+	return srv, state
+}
+
+func TestClientRetries5xxWithSpacing(t *testing.T) {
+	// Pin the jitter so arrival spacing is assertable; the ceiling
+	// contract itself is covered by TestRetryDelayFullJitter.
+	const delay = 30 * time.Millisecond
+	orig := retryDelay
+	retryDelay = func(attempt int) time.Duration { return delay }
+	defer func() { retryDelay = orig }()
+
+	srv, state := flakyServer(2, http.StatusInternalServerError)
+	defer srv.Close()
+
+	jobs, err := ListJobs(context.Background(), nil, srv.URL)
+	if err != nil {
+		t.Fatalf("client gave up on a recoverable server: %v", err)
+	}
+	if jobs == nil || len(jobs) != 0 {
+		t.Fatalf("jobs = %v, want empty listing", jobs)
+	}
+	state.Lock()
+	defer state.Unlock()
+	if len(state.arrivals) != 3 {
+		t.Fatalf("%d arrivals, want 3 (2 failures + success)", len(state.arrivals))
+	}
+	for i := 1; i < len(state.arrivals); i++ {
+		if gap := state.arrivals[i].Sub(state.arrivals[i-1]); gap < delay {
+			t.Fatalf("retry %d arrived %v after the previous attempt, want >= %v backoff", i, gap, delay)
+		}
+	}
+}
+
+func TestClientRetries429(t *testing.T) {
+	orig := retryDelay
+	retryDelay = func(int) time.Duration { return time.Millisecond }
+	defer func() { retryDelay = orig }()
+
+	srv, state := flakyServer(1, http.StatusTooManyRequests)
+	defer srv.Close()
+
+	if _, err := ListJobs(context.Background(), nil, srv.URL); err != nil {
+		t.Fatalf("429 must be retryable: %v", err)
+	}
+	state.Lock()
+	defer state.Unlock()
+	if len(state.arrivals) != 2 {
+		t.Fatalf("%d arrivals, want 2", len(state.arrivals))
+	}
+}
+
+// TestClientDoesNotRetry4xx pins the other side: a plain client error
+// surfaces immediately instead of hammering the coordinator.
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	srv, state := flakyServer(100, http.StatusBadRequest)
+	defer srv.Close()
+
+	if _, err := ListJobs(context.Background(), nil, srv.URL); err == nil {
+		t.Fatal("400 should be a hard error")
+	}
+	state.Lock()
+	defer state.Unlock()
+	if len(state.arrivals) != 1 {
+		t.Fatalf("%d arrivals, want exactly 1 (no retries on 4xx)", len(state.arrivals))
+	}
+}

@@ -34,6 +34,11 @@ type WorkerOptions struct {
 	// worker forever (requests are also retried with backoff — see
 	// doJSON).
 	Client *http.Client
+	// AuthToken is the coordinator's shared secret (see
+	// CoordinatorOptions.AuthToken); sent as a bearer token on every
+	// request. Ignored when Client is provided — wrap your own client
+	// with AuthTransport instead.
+	AuthToken string
 	// Cache, if non-nil, memoises raw scores on the worker side:
 	// leased tasks consult it before simulating and record what they
 	// computed (job.ExecOptions.Cache). A worker pointed at a warm
@@ -67,14 +72,20 @@ func (o WorkerOptions) client() *http.Client {
 	if o.Client != nil {
 		return o.Client
 	}
-	return defaultClient()
+	return NewClient(o.AuthToken)
 }
 
 // Work runs a worker loop against the coordinator at baseURL: lease →
 // ScoreSlice (on the engine's bounded pool) → upload, heartbeating
-// held leases, until the job completes (nil), ctx is cancelled
-// (ctx.Err()), or the coordinator becomes unreachable. jobID "" picks
-// the coordinator's first incomplete job.
+// held leases, until the work completes (nil), ctx is cancelled
+// (ctx.Err()), the coordinator drains (nil — the worker is being asked
+// to go away), or the coordinator becomes unreachable.
+//
+// With an explicit jobID the worker serves that one job. With jobID ""
+// it runs in multi-job mode: every lease call hits the global
+// POST /v1/lease and the coordinator's fair scheduler decides which
+// job each batch serves, so one fleet of workers drains any mix of
+// concurrent jobs in proportion to their priorities.
 //
 // A worker holds no durable state: killing it at any instant loses at
 // most its in-flight leases, which expire on the coordinator and are
@@ -86,8 +97,15 @@ func Work(ctx context.Context, baseURL, jobID string, opts WorkerOptions) error 
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	if jobID == "" {
+		return workAny(ctx, client, baseURL, name, opts, logf)
+	}
 
-	jobID, spec, err := resolveJob(ctx, client, baseURL, jobID, opts.poll())
+	detail, err := GetJob(ctx, client, baseURL, jobID)
+	if err != nil {
+		return err
+	}
+	spec, err := job.DecodeSpec(detail.Spec)
 	if err != nil {
 		return err
 	}
@@ -102,6 +120,10 @@ func Work(ctx context.Context, baseURL, jobID string, opts WorkerOptions) error 
 			LeaseRequest{Worker: name, MaxTasks: opts.TasksPerLease}, &lease)
 		if err != nil {
 			return err
+		}
+		if lease.Draining {
+			logf("worker %s: coordinator draining, exiting", name)
+			return nil
 		}
 		if len(lease.Tasks) == 0 {
 			if lease.Complete {
@@ -118,6 +140,57 @@ func Work(ctx context.Context, baseURL, jobID string, opts WorkerOptions) error 
 			continue
 		}
 		if err := runLease(ctx, client, baseURL, jobID, name, spec, lease, opts, logf); err != nil {
+			return err
+		}
+	}
+}
+
+// workAny is the multi-job worker loop: lease from the global endpoint,
+// lazily fetch and cache each job's spec the first time the scheduler
+// routes a batch from it, and keep pulling until every job is done.
+func workAny(ctx context.Context, client *http.Client, baseURL, name string, opts WorkerOptions, logf func(string, ...any)) error {
+	specs := map[string]job.Spec{}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease GlobalLeaseResponse
+		err := postJSON(ctx, client, apiURL(baseURL, "lease"),
+			LeaseRequest{Worker: name, MaxTasks: opts.TasksPerLease}, &lease)
+		if err != nil {
+			return err
+		}
+		if lease.Draining {
+			logf("worker %s: coordinator draining, exiting", name)
+			return nil
+		}
+		if len(lease.Tasks) == 0 {
+			if lease.AllComplete {
+				logf("worker %s: all jobs complete", name)
+				return nil
+			}
+			// No jobs yet, or everything pending is leased elsewhere.
+			select {
+			case <-time.After(opts.poll()):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		spec, ok := specs[lease.Job]
+		if !ok {
+			detail, err := GetJob(ctx, client, baseURL, lease.Job)
+			if err != nil {
+				return err
+			}
+			if spec, err = job.DecodeSpec(detail.Spec); err != nil {
+				return err
+			}
+			specs[lease.Job] = spec
+			logf("worker %s: joined job %s (%s domain, %d points)", name, lease.Job, spec.Domain.Name(), len(spec.Points))
+		}
+		if err := runLease(ctx, client, baseURL, lease.Job, name, spec,
+			LeaseResponse{Tasks: lease.Tasks}, opts, logf); err != nil {
 			return err
 		}
 	}
@@ -201,45 +274,3 @@ func runLease(ctx context.Context, client *http.Client, baseURL, jobID, name str
 	})
 }
 
-// resolveJob picks the job to work on and decodes its spec. With an
-// explicit jobID a missing job is an immediate error; with "" the
-// worker polls the listing until an incomplete job appears (the
-// coordinator may still be registering it) and returns nil work when
-// every listed job is already complete.
-func resolveJob(ctx context.Context, client *http.Client, baseURL, jobID string, poll time.Duration) (string, job.Spec, error) {
-	for jobID == "" {
-		jobs, err := ListJobs(ctx, client, baseURL)
-		if err != nil {
-			return "", job.Spec{}, err
-		}
-		for _, j := range jobs {
-			if !j.Complete {
-				jobID = j.ID
-				break
-			}
-		}
-		if jobID != "" {
-			break
-		}
-		if len(jobs) > 0 {
-			// Only complete jobs: nothing to do, pick the first so the
-			// caller can still fetch results by the returned ID.
-			jobID = jobs[0].ID
-			break
-		}
-		select {
-		case <-time.After(poll):
-		case <-ctx.Done():
-			return "", job.Spec{}, ctx.Err()
-		}
-	}
-	detail, err := GetJob(ctx, client, baseURL, jobID)
-	if err != nil {
-		return "", job.Spec{}, err
-	}
-	spec, err := job.DecodeSpec(detail.Spec)
-	if err != nil {
-		return "", job.Spec{}, err
-	}
-	return jobID, spec, nil
-}

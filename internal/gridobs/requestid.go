@@ -1,0 +1,119 @@
+package gridobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"time"
+)
+
+// RequestIDHeader is the header request IDs travel in, both directions:
+// an inbound value is trusted and propagated (so a caller can correlate
+// across hops), otherwise a fresh ID is generated. The response always
+// carries the header.
+const RequestIDHeader = "X-Request-ID"
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// RequestID returns the request ID threaded through ctx by the
+// Instrument middleware, or "" outside one.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// WithRequestID returns ctx carrying the given request ID — for tests
+// and non-HTTP callers that want their log lines correlated too.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// newRequestID returns 8 random bytes as hex. crypto/rand never fails
+// on the platforms we run on; on the impossible path the constant at
+// least stays greppable.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter records the status code and bytes written so the access
+// log and metrics can see them. It deliberately does not implement
+// http.Flusher pass-through implicitly — Flush is forwarded when the
+// underlying writer supports it, which the NDJSON progress stream needs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessInfo describes one completed request for the access logger.
+type AccessInfo struct {
+	RequestID string
+	Method    string
+	Path      string
+	Remote    string
+	Status    int
+	Bytes     int64
+	Elapsed   time.Duration
+}
+
+// Instrument wraps next with request-ID injection and per-request
+// accounting: the ID is read from (or added to) RequestIDHeader, set
+// on the response, threaded through the request context, and onDone
+// (if non-nil) receives one AccessInfo per completed request — the
+// structured access log.
+func Instrument(next http.Handler, onDone func(AccessInfo)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" || len(id) > 64 {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(WithRequestID(r.Context(), id)))
+		if onDone != nil {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			onDone(AccessInfo{
+				RequestID: id,
+				Method:    r.Method,
+				Path:      r.URL.Path,
+				Remote:    r.RemoteAddr,
+				Status:    status,
+				Bytes:     sw.bytes,
+				Elapsed:   time.Since(start),
+			})
+		}
+	})
+}

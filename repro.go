@@ -194,6 +194,16 @@ type GridOptions struct {
 	// ingested results feed it, and tasks whose scores it already
 	// holds are served without being dispatched.
 	Cache *ScoreCache
+	// AuthToken, when non-empty, requires workers to present the same
+	// shared secret as a bearer token on every mutating endpoint.
+	AuthToken string
+	// RateLimit / RateBurst apply per-client token-bucket admission to
+	// the /v1 API (requests/second and burst capacity); 0 disables.
+	RateLimit float64
+	RateBurst float64
+	// Priority is the job's fair-share scheduling weight against other
+	// jobs on the same coordinator; 0 means 1.
+	Priority int
 }
 
 // ServeGrid starts a grid coordinator on addr serving the sweep of d
@@ -205,13 +215,18 @@ type GridOptions struct {
 func ServeGrid(ctx context.Context, addr string, d Domain, points []SpacePoint, cfg SweepConfig, opts GridOptions) (*DomainScores, error) {
 	coordOpts := grid.CoordinatorOptions{
 		Dir: opts.Dir, LeaseTTL: opts.LeaseTTL, Logf: opts.Logf, CSV: exp.WriteDomainCSV,
+		AuthToken: opts.AuthToken, RateLimit: opts.RateLimit, RateBurst: opts.RateBurst,
 	}
 	if opts.Cache != nil {
 		coordOpts.Cache = opts.Cache
 	}
 	coord := grid.NewCoordinator(coordOpts)
 	defer coord.Close()
-	id, err := coord.AddJob(job.Spec{Domain: d, Points: points, Cfg: cfg, Chunk: opts.Chunk})
+	priority := opts.Priority
+	if priority == 0 {
+		priority = 1
+	}
+	id, err := coord.AddJobPriority(job.Spec{Domain: d, Points: points, Cfg: cfg, Chunk: opts.Chunk}, priority)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,7 @@
 # bench_compare.sh — diff a bench artifact against the committed
 # baseline, starting the cross-PR perf trajectory.
 #
-# Usage: bench_compare.sh [BENCH_PR5.json] [baseline.txt]
+# Usage: bench_compare.sh [BENCH_PR6.json] [baseline.txt]
 #
 # The artifact is the test2json stream CI tees from `go test -bench
 # -json` (one JSON object per line). This script extracts the
@@ -54,7 +54,7 @@ if [ "${1:-}" = "-extract" ]; then
   exit 0
 fi
 
-ARTIFACT="${1:-BENCH_PR5.json}"
+ARTIFACT="${1:-BENCH_PR6.json}"
 BASELINE="${2:-$(dirname "$0")/bench_baseline.txt}"
 
 if [ ! -f "$ARTIFACT" ]; then

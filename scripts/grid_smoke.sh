@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
 # Grid smoke test with real processes and a real SIGKILL: a 1-coordinator
-# + 2-worker localhost grid sweeps the gossip domain, one worker is
-# killed -9 mid-run (its leases must expire and re-queue), and the
-# resulting CSV must be byte-identical to a single-process dsa-sweep of
-# the same spec. Run from the repo root; CI runs it on every push.
+# + 2-worker localhost grid sweeps the gossip domain behind worker auth,
+# one worker is killed -9 mid-run (its leases must expire and re-queue),
+# the live /metrics endpoint is scraped mid-sweep, and the resulting CSV
+# must be byte-identical to a single-process dsa-sweep of the same spec.
+# A second phase checks POST /v1/drain shuts a coordinator down with
+# exit code 0. Run from the repo root; CI runs it on every push.
 set -euo pipefail
 
 workdir=$(mktemp -d)
 bin="$workdir/bin"
 mkdir -p "$bin"
+token="smoke-grid-secret"
 cleanup() {
   # Kill anything still running; ignore the ones already gone.
-  kill -9 "${coord_pid:-}" "${w1_pid:-}" "${w2_pid:-}" 2>/dev/null || true
+  kill -9 "${coord_pid:-}" "${w1_pid:-}" "${w2_pid:-}" "${drain_pid:-}" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -32,9 +35,10 @@ url="http://$addr"
 echo "== single-process reference sweep"
 "$bin/dsa-sweep" "${sweep_flags[@]}" -preset quick -out "$workdir/reference.csv"
 
-echo "== starting coordinator"
+echo "== starting coordinator (worker auth on)"
 "$bin/dsa-grid" serve -addr "$addr" "${sweep_flags[@]}" -preset quick \
   -checkpoint-dir "$workdir/ckpt" -lease-ttl 2s -once -out "$workdir/grid.csv" \
+  -auth-token "$token" \
   >"$workdir/coordinator.log" 2>&1 &
 coord_pid=$!
 
@@ -50,11 +54,24 @@ echo "== starting 2 workers"
 # unfinished leases for almost its whole life — the SIGKILL below is
 # then guaranteed to strand leases for the expiry path to recover.
 "$bin/dsa-grid" work -coordinator "$url" -name doomed -workers 1 -tasks-per-lease 4 \
+  -auth-token "$token" \
   >"$workdir/worker1.log" 2>&1 &
 w1_pid=$!
 "$bin/dsa-grid" work -coordinator "$url" -name survivor -tasks-per-lease 2 \
+  -auth-token "$token" \
   >"$workdir/worker2.log" 2>&1 &
 w2_pid=$!
+
+# An unauthenticated lease must bounce with 401 and a JSON error.
+job_for_auth=$(curl -sf "$url/v1/jobs" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+code=$(curl -s -o "$workdir/unauth.json" -w '%{http_code}' -X POST \
+  -d '{"worker":"intruder"}' "$url/v1/jobs/$job_for_auth/lease")
+if [ "$code" != "401" ] || ! grep -q '"error"' "$workdir/unauth.json"; then
+  echo "unauthenticated lease answered $code (want 401 + JSON error)" >&2
+  cat "$workdir/unauth.json" >&2
+  exit 1
+fi
+echo "== unauthenticated lease correctly rejected with 401"
 
 # Find the job ID, then kill the first worker as soon as a few tasks
 # are done but most are still outstanding — a genuine mid-run SIGKILL.
@@ -72,6 +89,18 @@ fi
 kill -9 "$w1_pid"
 echo "killed at $done_tasks/72 tasks"
 
+echo "== scraping /metrics mid-sweep"
+curl -sf "$url/metrics" >"$workdir/metrics.txt"
+for metric in grid_leases_granted_total grid_tasks_ingested_total grid_values_ingested_total; do
+  if ! grep -Eq "^$metric [0-9]*[1-9]" "$workdir/metrics.txt"; then
+    echo "mid-sweep /metrics has no non-zero $metric" >&2
+    grep "^$metric" "$workdir/metrics.txt" >&2 || true
+    exit 1
+  fi
+done
+grep -q '^grid_job_tasks{' "$workdir/metrics.txt" || {
+  echo "mid-sweep /metrics missing per-job queue-depth gauges" >&2; exit 1; }
+
 echo "== waiting for the surviving worker + coordinator to finish"
 wait "$w2_pid"
 wait "$coord_pid"
@@ -86,3 +115,31 @@ if ! grep -q "re-queued" "$workdir/coordinator.log"; then
   exit 1
 fi
 echo "OK: byte-identical scores, and the dead worker's leases were re-queued"
+
+echo "== drain: POST /v1/drain must shut a coordinator down cleanly"
+drain_addr="127.0.0.1:18438"
+drain_url="http://$drain_addr"
+"$bin/dsa-grid" serve -addr "$drain_addr" "${sweep_flags[@]}" -preset quick \
+  -auth-token "$token" >"$workdir/drain.log" 2>&1 &
+drain_pid=$!
+for _ in $(seq 1 50); do
+  curl -sf "$drain_url/v1/jobs" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+# Unauthenticated drain must bounce; authenticated drain must land.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$drain_url/v1/drain")
+if [ "$code" != "401" ]; then
+  echo "unauthenticated drain answered $code (want 401)" >&2; exit 1
+fi
+curl -sf -X POST -H "Authorization: Bearer $token" "$drain_url/v1/drain" \
+  | grep -q '"draining":true' || { echo "drain response malformed" >&2; exit 1; }
+drain_rc=0
+wait "$drain_pid" || drain_rc=$?
+if [ "$drain_rc" -ne 0 ]; then
+  echo "drained coordinator exited $drain_rc (want 0)" >&2
+  cat "$workdir/drain.log" >&2
+  exit 1
+fi
+grep -q "drained" "$workdir/drain.log" || {
+  echo "coordinator log never reported the drain" >&2; exit 1; }
+echo "OK: drain rejected without auth, accepted with auth, exit code 0"

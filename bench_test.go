@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cyclesim"
 	"repro/internal/cyclesim/refsim"
+	"repro/internal/delivery"
 	"repro/internal/design"
 	"repro/internal/dsa"
 	"repro/internal/exp"
@@ -486,6 +487,46 @@ func BenchmarkCachedSweepWarm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := job.Run(ctx, d, pts, cfg, job.Options{Chunk: 4, Cache: store}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeliveryRun measures one simulated download of the delivery
+// domain (honest scenario, racing strategy) — the inner loop of every
+// delivery measure.
+func BenchmarkDeliveryRun(b *testing.B) {
+	s := delivery.Strategy{Selection: delivery.SelBalanced, Fanout: 4,
+		Racing: delivery.RaceWithFallback, Timeout: delivery.TimeoutAdaptive}
+	opt := delivery.DefaultOptions()
+	opt.Peers = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i)
+		if _, err := delivery.Run(s, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeliveryScoreSlice measures the delivery domain's ScoreSlice
+// across all four measures on a 12-point slice — the task unit the job
+// engine shards, and the cost a warm score cache saves.
+func BenchmarkDeliveryScoreSlice(b *testing.B) {
+	d := delivery.Domain()
+	cfg := dsa.Config{Peers: 8, Rounds: 300, PerfRuns: 2, EncounterRuns: 1, Seed: 1, Workers: 1}
+	pts := dsa.StridePoints(d, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := map[string][]float64{}
+		for _, m := range d.Measures() {
+			vals, err := d.ScoreSlice(m, pts, nil, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			raw[m] = vals
+		}
+		if _, err := d.Assemble(pts, raw); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	dsa-grid serve -addr :8437 [-domain swarming|gossip] [-preset quick|paper]
+//	dsa-grid serve -addr :8437 [-domain swarming|gossip|delivery] [-preset quick|paper]
 //	               [-stride N] [-opponents N] [-peers N] [-rounds N]
 //	               [-perfruns N] [-encruns N] [-seed N] [-chunk N]
 //	               [-checkpoint-dir DIR] [-cache-dir DIR] [-lease-ttl 30s]
@@ -65,6 +65,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -77,6 +78,7 @@ import (
 	"repro/internal/profiling"
 
 	// Register the domains this tool can sweep.
+	_ "repro/internal/delivery"
 	_ "repro/internal/gossip"
 )
 
@@ -102,7 +104,7 @@ func runServe(sigCtx context.Context, args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
 		addr      = fs.String("addr", ":8437", "HTTP listen address")
-		domain    = fs.String("domain", pra.DomainName, "design space to sweep (swarming or gossip)")
+		domain    = fs.String("domain", pra.DomainName, "design space to sweep, one of: "+strings.Join(dsa.Names(), ", "))
 		preset    = fs.String("preset", "quick", "quick or paper")
 		stride    = fs.Int("stride", 1, "evaluate every Nth point of the space")
 		opponents = fs.Int("opponents", -1, "opponent panel size (0 = full round-robin)")

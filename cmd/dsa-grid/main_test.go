@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsa"
+)
+
+// TestRegisteredDomainsReachGrid: the worker resolves a wire spec's
+// domain by name through the registry, so every domain this binary is
+// expected to serve must be registered by its blank imports — and an
+// unknown -domain on serve must error naming the registered list.
+func TestRegisteredDomainsReachGrid(t *testing.T) {
+	for _, name := range []string{"delivery", "gossip", "swarming"} {
+		if _, err := dsa.Get(name); err != nil {
+			t.Fatalf("domain %s not registered in dsa-grid: %v", name, err)
+		}
+	}
+	_, err := dsa.Get("bogus")
+	if err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+	for _, want := range []string{`"bogus"`, "delivery", "gossip", "swarming"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %s", err, want)
+		}
+	}
+}

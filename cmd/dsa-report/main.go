@@ -12,8 +12,8 @@
 //	dsa-report -checkpoint DIR -out results.csv merge
 //	dsa-report -coordinator http://host:8437 [-job ID] fig2|...|top|merge
 //	dsa-report [-preset quick] [-stride N] validate|churn
-//	dsa-report -domain gossip [-in results.csv | -checkpoint DIR | -coordinator URL] top|scatter
-//	dsa-report -domain gossip -checkpoint DIR -out results.csv merge
+//	dsa-report -domain gossip|delivery [-in results.csv | -checkpoint DIR | -coordinator URL] top|scatter
+//	dsa-report -domain gossip|delivery -checkpoint DIR -out results.csv merge
 //	dsa-report -cache-dir DIR cache
 //	dsa-report -coordinator http://host:8437 cache
 //
@@ -44,6 +44,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/design"
@@ -56,6 +57,7 @@ import (
 	"repro/internal/stats"
 
 	// Register the domains this tool can report on.
+	_ "repro/internal/delivery"
 	_ "repro/internal/gossip"
 )
 
@@ -63,7 +65,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsa-report: ")
 	var (
-		domain = flag.String("domain", pra.DomainName, "design space the input covers (swarming or gossip)")
+		domain = flag.String("domain", pra.DomainName, "design space the input covers, one of: "+strings.Join(dsa.Names(), ", "))
 		in     = flag.String("in", "results.csv", "CSV produced by dsa-sweep")
 		ckpt   = flag.String("checkpoint", "", "dsa-sweep checkpoint dir to read instead of -in")
 		coord  = flag.String("coordinator", "", "dsa-grid coordinator URL to fetch scores from instead of -in")

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsa"
+)
+
+// TestUnknownDomainErrorListsRegistered pins the report CLI's failure
+// mode for a bad -domain value: dsa.Get's error must name the bad
+// value and every domain this binary's blank imports register, so a
+// typo surfaces the valid options instead of an opaque failure.
+func TestUnknownDomainErrorListsRegistered(t *testing.T) {
+	_, err := dsa.Get("no-such-domain")
+	if err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+	for _, want := range []string{`"no-such-domain"`, "delivery", "gossip", "swarming"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %s", err, want)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsa"
+)
+
+// TestUnknownDomainErrorListsRegistered pins this binary's failure
+// mode for a bad -domain value: main resolves the flag through
+// dsa.Get, whose error must name the offending value and every domain
+// this binary registers — the difference between "opaque failure" and
+// "typo, here are your options". The blank domain imports above are
+// what puts delivery/gossip/swarming in that list; if one is dropped,
+// this test fails.
+func TestUnknownDomainErrorListsRegistered(t *testing.T) {
+	_, err := dsa.Get("definitely-not-a-domain")
+	if err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+	for _, want := range []string{`"definitely-not-a-domain"`, "delivery", "gossip", "swarming"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+// TestDomainFlagHelpListsRegistered: the -domain usage string is built
+// from the registry, so help text can never drift from the set of
+// sweepable domains.
+func TestDomainFlagHelpListsRegistered(t *testing.T) {
+	names := dsa.Names()
+	if len(names) < 3 {
+		t.Fatalf("expected at least 3 registered domains, got %v", names)
+	}
+	joined := strings.Join(names, ", ")
+	for _, want := range []string{"delivery", "gossip", "swarming"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("registered names %v missing %s", names, want)
+		}
+	}
+}

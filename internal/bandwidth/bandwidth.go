@@ -18,6 +18,7 @@ package bandwidth
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -84,10 +85,22 @@ func TwoClass(slowKBps, fastKBps, fracSlow float64) (*Distribution, error) {
 }
 
 // New builds a distribution from CDF knots. Knots must be sorted by Q,
-// start at Q=0, end at Q=1, and have non-decreasing capacities.
+// start at Q=0, end at Q=1, and have finite, non-negative,
+// non-decreasing capacities. Every violation gets its own error naming
+// the offending knot — NaN included: a NaN Q would sail through plain
+// ordering comparisons (every comparison with NaN is false) and
+// corrupt sampling silently, so it is rejected explicitly.
 func New(points []Point) (*Distribution, error) {
 	if len(points) < 2 {
 		return nil, fmt.Errorf("bandwidth: need at least 2 points, got %d", len(points))
+	}
+	for i, p := range points {
+		if math.IsNaN(p.Q) || p.Q < 0 || p.Q > 1 {
+			return nil, fmt.Errorf("bandwidth: knot %d has Q=%v, want a value in [0,1]", i, p.Q)
+		}
+		if math.IsNaN(p.KBps) || math.IsInf(p.KBps, 0) || p.KBps < 0 {
+			return nil, fmt.Errorf("bandwidth: knot %d has capacity %v KiB/s, want finite and >= 0", i, p.KBps)
+		}
 	}
 	if points[0].Q != 0 || points[len(points)-1].Q != 1 {
 		return nil, fmt.Errorf("bandwidth: CDF must span Q=0..1")

@@ -1,8 +1,10 @@
 package bandwidth
 
 import (
+	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -42,17 +44,139 @@ func TestSampleQInterpolation(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	cases := [][]Point{
-		{{0, 1}},                             // too few
-		{{0.1, 1}, {1, 2}},                   // doesn't start at 0
-		{{0, 1}, {0.9, 2}},                   // doesn't end at 1
-		{{0, 1}, {0.6, 2}, {0.5, 3}, {1, 4}}, // Q not sorted
-		{{0, 5}, {1, 2}},                     // capacity decreasing
+	cases := []struct {
+		pts  []Point
+		want string // substring the error must carry
+	}{
+		{[]Point{{0, 1}}, "at least 2"},                                 // too few
+		{[]Point{{0.1, 1}, {1, 2}}, "span Q=0..1"},                      // doesn't start at 0
+		{[]Point{{0, 1}, {0.9, 2}}, "span Q=0..1"},                      // doesn't end at 1
+		{[]Point{{0, 1}, {0.6, 2}, {0.5, 3}, {1, 4}}, "not sorted"},     // Q not sorted
+		{[]Point{{0, 5}, {1, 2}}, "non-decreasing"},                     // capacity decreasing
+		{[]Point{{0, 1}, {math.NaN(), 2}, {1, 3}}, "knot 1"},            // NaN Q: unsortable, must not slip through
+		{[]Point{{0, 1}, {1.5, 2}, {1, 3}}, "knot 1"},                   // Q above 1 mid-CDF
+		{[]Point{{0, 1}, {-0.5, 2}, {1, 3}}, "knot 1"},                  // negative Q mid-CDF
+		{[]Point{{0, 1}, {0.5, math.NaN()}, {1, 3}}, "knot 1"},          // NaN capacity
+		{[]Point{{0, 1}, {0.5, math.Inf(1)}, {1, math.Inf(1)}}, "knot"}, // infinite capacity
+		{[]Point{{0, -3}, {1, 2}}, "knot 0"},                            // negative capacity
 	}
-	for i, pts := range cases {
-		if _, err := New(pts); err == nil {
+	for i, c := range cases {
+		_, err := New(c.pts)
+		if err == nil {
 			t.Errorf("case %d: expected error", i)
+			continue
 		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: error %q should contain %q", i, err, c.want)
+		}
+	}
+}
+
+// randomCDF builds a valid random CDF from a seed: sorted Q spanning
+// 0..1, finite non-decreasing capacities.
+func randomCDF(seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(8)
+	pts := make([]Point, n)
+	q := 0.0
+	kbps := rng.Float64() * 100
+	for i := range pts {
+		pts[i] = Point{Q: q, KBps: kbps}
+		q += rng.Float64()
+		kbps += rng.Float64() * 1000
+	}
+	// Rescale Q onto exactly [0,1].
+	span := pts[n-1].Q
+	if span == 0 {
+		span = 1
+	}
+	for i := range pts {
+		pts[i].Q /= span
+	}
+	pts[0].Q, pts[n-1].Q = 0, 1
+	return pts
+}
+
+// TestNewAcceptsValidRejectsMutatedProperty: every randomly generated
+// valid CDF is accepted, and a random order-breaking mutation of it is
+// rejected — the validator's acceptance region is exactly the
+// contract, not a lucky subset of hand-picked cases.
+func TestNewAcceptsValidRejectsMutatedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := randomCDF(seed)
+		if _, err := New(pts); err != nil {
+			t.Logf("seed %d: valid CDF rejected: %v", seed, err)
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		mutated := make([]Point, len(pts))
+		copy(mutated, pts)
+		i := rng.Intn(len(mutated))
+		switch rng.Intn(4) {
+		case 0:
+			mutated[i].Q = math.NaN()
+		case 1:
+			mutated[i].Q = 1 + rng.Float64() // out of range
+		case 2:
+			mutated[i].KBps = -1 - rng.Float64()*100
+		case 3:
+			if i == 0 {
+				i = 1
+			}
+			// Break capacity monotonicity below the previous knot.
+			mutated[i].KBps = mutated[i-1].KBps - 1 - rng.Float64()
+		}
+		if _, err := New(mutated); err == nil {
+			t.Logf("seed %d: mutated CDF %v accepted", seed, mutated)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSamplingDeterministicProperty: for any valid CDF and any seed,
+// two samplers with equal seeds walk the quantile range identically —
+// SampleQ is a pure function and Sample/SampleN consume the rng
+// identically. The delivery domain's byte-identity guarantees sit on
+// exactly this.
+func TestSamplingDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := New(randomCDF(seed))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Pure inverse-CDF determinism across the quantile range.
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			if a, b := d.SampleQ(q), d.SampleQ(q); a != b {
+				t.Logf("seed %d: SampleQ(%v) unstable: %v vs %v", seed, q, a, b)
+				return false
+			}
+		}
+		// rng-driven draws: equal seeds, equal streams.
+		ra, rb := rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed))
+		as, bs := d.SampleN(ra, 64), d.SampleN(rb, 64)
+		for i := range as {
+			if as[i] != bs[i] {
+				t.Logf("seed %d: SampleN diverged at %d", seed, i)
+				return false
+			}
+		}
+		// And the support is respected.
+		lo, hi := d.SampleQ(0), d.SampleQ(1)
+		for _, v := range as {
+			if v < lo || v > hi {
+				t.Logf("seed %d: sample %v outside [%v,%v]", seed, v, lo, hi)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
 	}
 }
 

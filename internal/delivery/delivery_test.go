@@ -1,0 +1,245 @@
+package delivery
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyOpts is a small, fast download setup shared by simulator tests.
+func tinyOpts() Options {
+	opt := DefaultOptions()
+	opt.Peers = 8
+	opt.MaxSeconds = 400
+	opt.Seed = 7
+	return opt
+}
+
+func honest() Strategy {
+	return Strategy{Selection: SelBalanced, Fanout: 4, Racing: RaceWithFallback, Timeout: TimeoutAdaptive}
+}
+
+func TestSpaceShape(t *testing.T) {
+	s := Space()
+	pts := s.Enumerate()
+	if want := 4 * 4 * 3 * 3 * 4; len(pts) != want {
+		t.Fatalf("space has %d points, want %d", len(pts), want)
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		st, err := FromPoint(p)
+		if err != nil {
+			t.Fatalf("FromPoint(%v): %v", p, err)
+		}
+		if err := st.Validate(); err != nil {
+			t.Fatalf("enumerated strategy %v invalid: %v", st, err)
+		}
+		if seen[st.String()] {
+			t.Fatalf("duplicate strategy label %q", st.String())
+		}
+		seen[st.String()] = true
+	}
+}
+
+func TestStrategyValidate(t *testing.T) {
+	bad := []Strategy{
+		{Selection: -1, Fanout: 1},
+		{Selection: SelBalanced + 1, Fanout: 1},
+		{Fanout: 0},
+		{Fanout: 3},
+		{Fanout: 16},
+		{Fanout: 1, Racing: RaceWithFallback + 1},
+		{Fanout: 1, Timeout: TimeoutEager + 1},
+		{Fanout: 1, Scenario: ScenarioSybil + 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid strategy", s)
+		}
+		if _, err := Run(s, tinyOpts()); err == nil {
+			t.Errorf("Run accepted invalid strategy %+v", s)
+		}
+	}
+	if err := honest().Validate(); err != nil {
+		t.Fatalf("valid strategy rejected: %v", err)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	mutate := []func(*Options){
+		func(o *Options) { o.Peers = 1 },
+		func(o *Options) { o.MaxSeconds = 0 },
+		func(o *Options) { o.FileKiB = 0 },
+		func(o *Options) { o.ChunkKiB = 0 },
+		func(o *Options) { o.ChunkKiB = o.FileKiB + 1 },
+		func(o *Options) { o.MirrorKBps = 0 },
+		func(o *Options) { o.ClientDownKBps = -1 },
+		func(o *Options) { o.Churn = -0.1 },
+		func(o *Options) { o.Churn = 1.5 },
+		func(o *Options) { o.Churn = math.NaN() },
+	}
+	for i, m := range mutate {
+		opt := tinyOpts()
+		m(&opt)
+		if _, err := Run(honest(), opt); err == nil {
+			t.Errorf("mutation %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, s := range []Strategy{
+		honest(),
+		{Selection: SelLatency, Fanout: 2, Racing: RaceP2POnly, Timeout: TimeoutEager, Scenario: ScenarioColluders},
+		{Selection: SelReliability, Fanout: 8, Racing: RaceMirrorOnly, Timeout: TimeoutFixed, Scenario: ScenarioSybil},
+	} {
+		a, err := Run(s, tinyOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(s, tinyOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%v: same seed, different results:\n%+v\n%+v", s, a, b)
+		}
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	s := honest()
+	opt := tinyOpts()
+	a, err := Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for seed := int64(100); seed < 110; seed++ {
+		opt.Seed = seed
+		b, err := Run(s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("10 different seeds all produced the identical result")
+	}
+}
+
+// TestBytesConserved pins the accounting identity: a completed download
+// delivered exactly the file (rounded up to whole chunks), split
+// between swarm and mirror.
+func TestBytesConserved(t *testing.T) {
+	opt := tinyOpts()
+	for seed := int64(0); seed < 10; seed++ {
+		opt.Seed = seed
+		res, err := Run(honest(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: honest race download did not complete", seed)
+		}
+		chunks := (opt.FileKiB + opt.ChunkKiB - 1) / opt.ChunkKiB
+		want := float64(chunks * opt.ChunkKiB)
+		if got := res.PeerKiB + res.MirrorKiB; got != want {
+			t.Fatalf("seed %d: delivered %v KiB, want %v", seed, got, want)
+		}
+		if res.Seconds < 1 || res.Seconds > opt.MaxSeconds {
+			t.Fatalf("seed %d: Seconds = %d outside (0,%d]", seed, res.Seconds, opt.MaxSeconds)
+		}
+	}
+}
+
+func TestRacingSourceConstraints(t *testing.T) {
+	opt := tinyOpts()
+	p2p := honest()
+	p2p.Racing = RaceP2POnly
+	res, err := Run(p2p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MirrorKiB != 0 {
+		t.Fatalf("P2POnly used the mirror: %v KiB", res.MirrorKiB)
+	}
+	mo := honest()
+	mo.Racing = RaceMirrorOnly
+	res, err = Run(mo, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeerKiB != 0 {
+		t.Fatalf("MirrorOnly used the swarm: %v KiB", res.PeerKiB)
+	}
+	if !res.Completed {
+		t.Fatal("MirrorOnly download did not complete")
+	}
+}
+
+// TestStressSlowsMirror pins the stress regime's mirror half-rate: a
+// mirror-only download (deterministic, no randomness on its path)
+// takes twice as long under stress.
+func TestStressSlowsMirror(t *testing.T) {
+	mo := honest()
+	mo.Racing = RaceMirrorOnly
+	opt := tinyOpts()
+	nominal, err := Run(mo, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Stress = true
+	stressed, err := Run(mo, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nominal.Completed || !stressed.Completed {
+		t.Fatal("mirror-only download did not complete")
+	}
+	if stressed.Seconds <= nominal.Seconds {
+		t.Fatalf("stress did not slow the mirror: nominal %ds, stressed %ds", nominal.Seconds, stressed.Seconds)
+	}
+}
+
+// TestColludersExploitLatencyScoring pins the space's central
+// adversarial structure: under colluding under-reporters, pure
+// latency scoring (the signal colluders fake) downloads slower on
+// aggregate than balanced scoring.
+func TestColludersExploitLatencyScoring(t *testing.T) {
+	base := Strategy{Fanout: 4, Racing: RaceP2POnly, Timeout: TimeoutAdaptive, Scenario: ScenarioColluders}
+	total := func(sel Selection) int {
+		s := base
+		s.Selection = sel
+		sum := 0
+		opt := tinyOpts()
+		for seed := int64(0); seed < 12; seed++ {
+			opt.Seed = seed
+			res, err := Run(s, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Seconds
+		}
+		return sum
+	}
+	lat, bal := total(SelLatency), total(SelBalanced)
+	if lat <= bal {
+		t.Fatalf("colluders should exploit latency scoring: latency total %ds <= balanced total %ds", lat, bal)
+	}
+}
+
+func TestStringsAreStable(t *testing.T) {
+	s := Strategy{Selection: SelThroughput, Fanout: 8, Racing: RaceWithFallback, Timeout: TimeoutEager, Scenario: ScenarioFreeRiders}
+	if got, want := s.String(), "Throughput/f8/Race/Eager/FreeRiders"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	for _, bad := range []string{Selection(99).String(), Racing(99).String(), Timeout(99).String(), Scenario(99).String()} {
+		if !strings.Contains(bad, "99") {
+			t.Fatalf("out-of-range enum String() = %q, want a diagnostic form", bad)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package delivery_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delivery"
+	"repro/internal/dsa"
+)
+
+// tinyCfg is the smallest config that exercises every code path fast.
+func tinyCfg() dsa.Config {
+	return dsa.Config{Peers: 6, Rounds: 200, PerfRuns: 2, EncounterRuns: 1, Seed: 3, Workers: 1}
+}
+
+// subset strides the 576-point space down to a fast 12-point sample.
+func subset(t *testing.T, d dsa.Domain) []core.Point {
+	t.Helper()
+	pts := dsa.StridePoints(d, 48)
+	if len(pts) != 12 {
+		t.Fatalf("stride subset has %d points, want 12", len(pts))
+	}
+	return pts
+}
+
+func TestDomainRegistered(t *testing.T) {
+	d, err := dsa.Get(delivery.DomainName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "delivery" {
+		t.Fatalf("Name() = %q", d.Name())
+	}
+	if got := d.Space().Size(); got != 576 {
+		t.Fatalf("space size %d, want 576", got)
+	}
+}
+
+func TestMeasuresCanonicalOrder(t *testing.T) {
+	d := delivery.Domain()
+	got := d.Measures()
+	want := []string{"robustness", "mean_time", "p95_time", "mirror_offload"}
+	if len(got) != len(want) {
+		t.Fatalf("Measures() = %v, want %v", got, want)
+	}
+	for i := range want {
+		// The order is part of the task-enumeration contract; changing
+		// it would invalidate every delivery checkpoint.
+		if got[i] != want[i] {
+			t.Fatalf("Measures() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPointIDCodecRoundTrip(t *testing.T) {
+	d := delivery.Domain()
+	pts := d.Space().Enumerate()
+	seen := make(map[int]bool, len(pts))
+	for _, p := range pts {
+		id, err := d.PointID(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		seen[id] = true
+		back, err := d.PointByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Key() != p.Key() {
+			t.Fatalf("ID %d: round-trip %v != %v", id, back, p)
+		}
+	}
+	if _, err := d.PointByID(-1); err == nil {
+		t.Fatal("PointByID(-1) accepted")
+	}
+	if _, err := d.PointByID(len(pts)); err == nil {
+		t.Fatal("PointByID(size) accepted")
+	}
+	if _, err := d.PointID(core.Point{0}); err == nil {
+		t.Fatal("PointID of a foreign point accepted")
+	}
+}
+
+func TestDefaultConfigPresets(t *testing.T) {
+	d := delivery.Domain()
+	for _, preset := range []string{"quick", "paper"} {
+		cfg, err := d.DefaultConfig(preset)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s preset invalid: %v", preset, err)
+		}
+	}
+	if _, err := d.DefaultConfig("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestScoreSliceDeterministic(t *testing.T) {
+	d := delivery.Domain()
+	pts := subset(t, d)
+	cfg := tinyCfg()
+	for _, m := range d.Measures() {
+		a, err := d.ScoreSlice(m, pts, nil, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		// Workers must never affect values, only speed.
+		cfgWide := cfg
+		cfgWide.Workers = 4
+		b, err := d.ScoreSlice(m, pts, nil, cfgWide)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("%s[%d]: %v != %v across worker counts", m, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestScoreSliceConcatenation pins the sharding contract: scores derive
+// from point identity, never slice position, so any partition
+// concatenates into the full-set result bit-for-bit.
+func TestScoreSliceConcatenation(t *testing.T) {
+	d := delivery.Domain()
+	pts := subset(t, d)
+	cfg := tinyCfg()
+	for _, m := range d.Measures() {
+		full, err := d.ScoreSlice(m, pts, nil, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		var parts []float64
+		for _, cut := range [][]core.Point{pts[:5], pts[5:9], pts[9:]} {
+			vals, err := d.ScoreSlice(m, cut, nil, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", m, err)
+			}
+			parts = append(parts, vals...)
+		}
+		for i := range full {
+			if math.Float64bits(full[i]) != math.Float64bits(parts[i]) {
+				t.Fatalf("%s[%d]: full %v != concatenated %v", m, i, full[i], parts[i])
+			}
+		}
+	}
+}
+
+func TestMeasureRanges(t *testing.T) {
+	d := delivery.Domain()
+	pts := subset(t, d)
+	cfg := tinyCfg()
+	for _, m := range []string{delivery.MeasureRobustness, delivery.MeasureMirrorOffload} {
+		vals, err := d.ScoreSlice(m, pts, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%s[%d] = %v outside [0,1]", m, i, v)
+			}
+		}
+	}
+	for _, m := range []string{delivery.MeasureMeanTime, delivery.MeasureP95Time} {
+		vals, err := d.ScoreSlice(m, pts, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if v <= 0 || v > float64(cfg.Rounds) || math.IsNaN(v) {
+				t.Fatalf("%s[%d] = %v outside (0,%d]", m, i, v, cfg.Rounds)
+			}
+		}
+	}
+}
+
+func TestScoreSliceErrors(t *testing.T) {
+	d := delivery.Domain()
+	pts := subset(t, d)
+	if _, err := d.ScoreSlice("nope", pts, nil, tinyCfg()); err == nil {
+		t.Fatal("unknown measure accepted")
+	}
+	if _, err := d.ScoreSlice(delivery.MeasureMeanTime, pts, nil, dsa.Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := d.ScoreSlice(delivery.MeasureMeanTime, []core.Point{{0}}, nil, tinyCfg()); err == nil {
+		t.Fatal("foreign point accepted")
+	}
+}
+
+func TestAssemble(t *testing.T) {
+	d := delivery.Domain()
+	pts := subset(t, d)
+	cfg := tinyCfg()
+	raw := map[string][]float64{}
+	for _, m := range d.Measures() {
+		vals, err := d.ScoreSlice(m, pts, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[m] = vals
+	}
+	scores, err := d.Assemble(pts, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores.Domain != "delivery" || len(scores.Points) != len(pts) {
+		t.Fatalf("bad assembly header: %q, %d points", scores.Domain, len(scores.Points))
+	}
+	for _, m := range d.Measures() {
+		if len(scores.Raw[m]) != len(pts) || len(scores.Values[m]) != len(pts) {
+			t.Fatalf("%s: wrong vector lengths", m)
+		}
+	}
+	// The times are inverted min-max normalised: the raw minimum maps
+	// to value 1, the raw maximum to 0, everything lands in [0,1].
+	for _, m := range []string{delivery.MeasureMeanTime, delivery.MeasureP95Time} {
+		rawV, norm := scores.Raw[m], scores.Values[m]
+		minI, maxI := 0, 0
+		for i := range rawV {
+			if rawV[i] < rawV[minI] {
+				minI = i
+			}
+			if rawV[i] > rawV[maxI] {
+				maxI = i
+			}
+		}
+		if rawV[minI] == rawV[maxI] {
+			t.Fatalf("%s: degenerate sample, pick a different subset", m)
+		}
+		if norm[minI] != 1 || norm[maxI] != 0 {
+			t.Fatalf("%s: inverted normalisation broken: min→%v, max→%v", m, norm[minI], norm[maxI])
+		}
+		for i, v := range norm {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s[%d] normalised to %v", m, i, v)
+			}
+		}
+	}
+	// Raw and Values must be distinct backing arrays: mutating one view
+	// cannot corrupt the other.
+	scores.Raw[delivery.MeasureRobustness][0] = -99
+	if scores.Values[delivery.MeasureRobustness][0] == -99 {
+		t.Fatal("Raw and Values share a backing slice")
+	}
+	// Missing or short measures are rejected.
+	short := map[string][]float64{}
+	for _, m := range d.Measures() {
+		short[m] = raw[m][:len(pts)-1]
+	}
+	if _, err := d.Assemble(pts, short); err == nil {
+		t.Fatal("short raw vectors accepted")
+	}
+	if _, err := d.Assemble(pts, map[string][]float64{}); err == nil {
+		t.Fatal("empty raw map accepted")
+	}
+}
+
+// TestHillClimbOnRobustness is the acceptance criterion's explorer leg:
+// a heuristic search over the robustness measure completes through the
+// generic dsa seam with no delivery-specific engine code.
+func TestHillClimbOnRobustness(t *testing.T) {
+	d := delivery.Domain()
+	best, evals, err := dsa.HillClimb(d,
+		dsa.Weights{delivery.MeasureRobustness: 1},
+		tinyCfg(),
+		core.HillClimbConfig{Restarts: 2, MaxSteps: 20, Seed: 5},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals <= 0 {
+		t.Fatalf("explorer made %d evaluations", evals)
+	}
+	if best.Score < 0 || best.Score > 1 || math.IsNaN(best.Score) {
+		t.Fatalf("best robustness %v outside [0,1]", best.Score)
+	}
+	if _, err := d.PointID(best.Point); err != nil {
+		t.Fatalf("best point not in the space: %v", err)
+	}
+}

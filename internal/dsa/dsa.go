@@ -230,6 +230,15 @@ func Registered() []Domain {
 	return out
 }
 
+// Names returns the sorted names of every registered domain — what the
+// CLIs print in -domain flag help and what Get's unknown-domain error
+// lists.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return names()
+}
+
 // names returns the sorted registered names; callers hold regMu.
 func names() []string {
 	ns := make([]string, 0, len(registry))

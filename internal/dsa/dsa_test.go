@@ -2,7 +2,10 @@ package dsa_test
 
 // External test package: it exercises the interface through the real
 // domain implementations (pra registers "swarming", gossip registers
-// "gossip"), which the dsa package itself must not import.
+// "gossip", delivery registers "delivery"), which the dsa package
+// itself must not import. TestDomainContracts below runs against every
+// registered domain, so each import here buys the whole contract suite
+// for that domain.
 
 import (
 	"bytes"
@@ -12,17 +15,15 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/delivery"
 	"repro/internal/dsa"
 	"repro/internal/gossip"
 	"repro/internal/pra"
 )
 
-func TestRegistryHasBothDomains(t *testing.T) {
-	var names []string
-	for _, d := range dsa.Registered() {
-		names = append(names, d.Name())
-	}
-	for _, want := range []string{gossip.DomainName, pra.DomainName} {
+func TestRegistryHasAllDomains(t *testing.T) {
+	names := dsa.Names()
+	for _, want := range []string{delivery.DomainName, gossip.DomainName, pra.DomainName} {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -33,8 +34,25 @@ func TestRegistryHasBothDomains(t *testing.T) {
 			t.Errorf("domain %q not registered (have %v)", want, names)
 		}
 	}
-	if _, err := dsa.Get("no-such-domain"); err == nil || !strings.Contains(err.Error(), "unknown domain") {
+	// Names, Registered and Get agree on the same sorted universe.
+	reg := dsa.Registered()
+	if len(reg) != len(names) {
+		t.Fatalf("Registered() has %d domains, Names() %d", len(reg), len(names))
+	}
+	for i, d := range reg {
+		if d.Name() != names[i] {
+			t.Errorf("Registered()[%d] = %q, Names()[%d] = %q", i, d.Name(), i, names[i])
+		}
+	}
+	err := func() error { _, err := dsa.Get("no-such-domain"); return err }()
+	if err == nil || !strings.Contains(err.Error(), "unknown domain") {
 		t.Errorf("unknown domain lookup: err = %v", err)
+	}
+	// The error lists every registered name — the CLIs' typo UX.
+	for _, n := range names {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("unknown-domain error %q does not list %q", err, n)
+		}
 	}
 }
 

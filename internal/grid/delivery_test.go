@@ -1,0 +1,76 @@
+package grid
+
+// Grid parity for the delivery domain: the acceptance bar of the
+// third vertical is that a grid-run sweep — coordinator + two workers
+// over HTTP — serialises byte-identically to a single-process job.Run
+// with zero delivery-specific engine code. The worker resolves the
+// domain from the wire spec through the registry, so this also pins
+// that the delivery registration reaches the grid's seam.
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/delivery"
+	"repro/internal/dsa"
+	"repro/internal/job"
+)
+
+func deliverySpec(t *testing.T) job.Spec {
+	t.Helper()
+	pts := dsa.StridePoints(delivery.Domain(), 36)
+	if len(pts) != 16 {
+		t.Fatalf("subset has %d points, want 16", len(pts))
+	}
+	cfg := dsa.Config{Peers: 6, Rounds: 200, PerfRuns: 2, EncounterRuns: 1, Seed: 11}
+	return job.Spec{Domain: delivery.Domain(), Points: pts, Cfg: cfg, Chunk: 2}
+}
+
+func TestGridDeliveryTwoWorkersMatchRunSweep(t *testing.T) {
+	spec := deliverySpec(t)
+	want := wantScores(t, spec)
+
+	coord := NewCoordinator(CoordinatorOptions{Dir: t.TempDir(), LeaseTTL: 2 * time.Second})
+	defer coord.Close()
+	id, err := coord.AddJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for w := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[w] = Work(ctx, srv.URL, "", WorkerOptions{Workers: 2, TasksPerLease: 2, Poll: 20 * time.Millisecond})
+		}()
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+
+	got, err := coord.WaitComplete(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatal("2-worker delivery grid scores are not byte-identical to single-process job.Run")
+	}
+	fetched, err := FetchScores(ctx, nil, srv.URL, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, fetched) != mustJSON(t, want) {
+		t.Fatal("delivery scores fetched over HTTP differ from single-process job.Run")
+	}
+}

@@ -1,0 +1,243 @@
+package job
+
+// Engine parity for the delivery domain — the third vertical through
+// the generic seam, and the first whose measures include adversarial
+// robustness. Same guarantees as the swarming and gossip suites: chunk
+// invariance, resume round-trip, byte-identical multi-shard merge,
+// byte-identical cached sweeps with a zero-simulation warm run — plus
+// the three-domain cache-isolation case: no two registered domains may
+// ever share a ScoreKeyer key.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/delivery"
+	"repro/internal/dsa"
+	"repro/internal/gossip"
+	"repro/internal/pra"
+)
+
+func tinyDeliveryCfg() dsa.Config {
+	return dsa.Config{Peers: 6, Rounds: 200, PerfRuns: 2, EncounterRuns: 1, Seed: 11}
+}
+
+// deliverySubset strides the 576-strategy space down to 16 points.
+func deliverySubset(t *testing.T) []core.Point {
+	t.Helper()
+	pts := dsa.StridePoints(delivery.Domain(), 36)
+	if len(pts) != 16 {
+		t.Fatalf("subset has %d points, want 16", len(pts))
+	}
+	return pts
+}
+
+func mustRunDelivery(t *testing.T, ctx context.Context, pts []core.Point, opts Options) *dsa.Scores {
+	t.Helper()
+	s, err := Run(ctx, delivery.Domain(), pts, tinyDeliveryCfg(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDeliveryChunkInvariance(t *testing.T) {
+	pts := deliverySubset(t)
+	ctx := context.Background()
+	a := mustRunDelivery(t, ctx, pts, Options{Chunk: 1})
+	b := mustRunDelivery(t, ctx, pts, Options{Chunk: 5})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("chunk size changed the merged delivery scores")
+	}
+	for _, m := range delivery.Domain().Measures() {
+		if len(a.Values[m]) != len(pts) {
+			t.Fatalf("measure %s has %d values, want %d", m, len(a.Values[m]), len(pts))
+		}
+	}
+}
+
+func TestDeliveryResumeRoundTrip(t *testing.T) {
+	pts := deliverySubset(t)
+	want := mustRunDelivery(t, context.Background(), pts, Options{Chunk: 2})
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := Run(ctx, delivery.Domain(), pts, tinyDeliveryCfg(), Options{
+		Dir: dir, Chunk: 2, Workers: 1,
+		Progress: func(p Progress) {
+			if p.FreshTasks >= 3 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	var resumed Progress
+	got, err := Run(context.Background(), delivery.Domain(), pts, tinyDeliveryCfg(), Options{
+		Dir: dir, Chunk: 2,
+		Progress: func(p Progress) { resumed = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.FreshTasks >= resumed.TotalTasks {
+		t.Fatalf("resume re-ran everything: %d fresh of %d total", resumed.FreshTasks, resumed.TotalTasks)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed delivery run does not match uninterrupted run")
+	}
+}
+
+func TestDeliveryTwoShardMergeByteIdentical(t *testing.T) {
+	pts := deliverySubset(t)
+	ctx := context.Background()
+	want := mustRunDelivery(t, ctx, pts, Options{Chunk: 3})
+
+	dir := t.TempDir()
+	_, err := Run(ctx, delivery.Domain(), pts, tinyDeliveryCfg(), Options{Dir: dir, Chunk: 3, Shards: 2, ShardIndex: 0})
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("shard 0: err = %v, want ErrIncomplete", err)
+	}
+	got, err := Run(ctx, delivery.Domain(), pts, tinyDeliveryCfg(), Options{Dir: dir, Chunk: 3, Shards: 2, ShardIndex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := mustJSON(want)
+	for name, s := range map[string]*dsa.Scores{"sharded merge": got, "Load": loaded} {
+		if string(mustJSON(s)) != string(wantJSON) {
+			t.Fatalf("%s is not byte-identical to the unsharded run", name)
+		}
+	}
+}
+
+// TestDeliveryCachedSweepByteIdentical extends the PR 4 caching bar to
+// the delivery domain: cold-with-cache and warm-with-cache runs emit
+// exactly the uncached bytes (JSON and CSV), and the warm run performs
+// zero simulations.
+func TestDeliveryCachedSweepByteIdentical(t *testing.T) {
+	pts := deliverySubset(t)
+	cfg := tinyDeliveryCfg()
+	ctx := context.Background()
+
+	want, err := Run(ctx, delivery.Domain(), pts, cfg, Options{Chunk: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := scoresJSON(t, want)
+	wantCSV := scoresCSV(t, delivery.Domain(), want)
+
+	store, err := cache.Open(cache.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	cold := &countingDomain{Domain: delivery.Domain()}
+	coldScores, err := Run(ctx, cold, pts, cfg, Options{Chunk: 4, Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoresJSON(t, coldScores) != wantJSON {
+		t.Fatal("cold cached sweep differs from uncached sweep")
+	}
+	if cold.points.Load() == 0 {
+		t.Fatal("cold run should simulate")
+	}
+
+	warm := &countingDomain{Domain: delivery.Domain()}
+	warmScores, err := Run(ctx, warm, pts, cfg, Options{Chunk: 4, Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoresJSON(t, warmScores) != wantJSON {
+		t.Fatal("warm cached sweep differs from uncached sweep")
+	}
+	if string(scoresCSV(t, delivery.Domain(), warmScores)) != string(wantCSV) {
+		t.Fatal("warm cached sweep CSV differs from uncached CSV")
+	}
+	if n := warm.points.Load(); n != 0 {
+		t.Fatalf("warm sweep simulated %d points, want 0", n)
+	}
+}
+
+// TestThreeDomainCacheIsolation: the same (measure name, point ID,
+// config) under different domains must produce different cache keys —
+// the domain name is hashed into the keyer context, so a delivery
+// score can never be served to a swarming or gossip sweep (or vice
+// versa) even from one shared store. "robustness" is a real collision
+// candidate: three domains, one measure name.
+func TestThreeDomainCacheIsolation(t *testing.T) {
+	cfg := dsa.Config{Peers: 8, Rounds: 30, PerfRuns: 1, EncounterRuns: 1, Seed: 7}
+	domains := []dsa.Domain{pra.Domain(), gossip.Domain(), delivery.Domain()}
+	keys := map[dsa.CacheKey]string{}
+	for _, d := range domains {
+		keyer, err := dsa.NewScoreKeyer(d, nil, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		// "robustness" is a measure of all three domains; point 0 is
+		// valid in all three spaces.
+		for _, m := range []string{"robustness", "phantom"} {
+			k := keyer.Key(m, 0)
+			if prev, dup := keys[k]; dup {
+				t.Fatalf("cache key collision between %s and %s for measure %q", prev, d.Name(), m)
+			}
+			keys[k] = d.Name()
+		}
+	}
+}
+
+// TestSharedStoreServesAllDomains: one store, three domains swept
+// back-to-back, every warm rerun byte-identical and simulation-free —
+// isolation and reuse at once, through the real engine.
+func TestSharedStoreServesAllDomains(t *testing.T) {
+	ctx := context.Background()
+	store, err := cache.Open(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	type sweep struct {
+		d   dsa.Domain
+		pts []core.Point
+		cfg dsa.Config
+	}
+	gossipPts, gossipCfg := cacheTestSpec(t)
+	sweeps := []sweep{
+		{pra.Domain(), subset(t), tinyCfg()},
+		{gossip.Domain(), gossipPts, gossipCfg},
+		{delivery.Domain(), deliverySubset(t), tinyDeliveryCfg()},
+	}
+	wants := make([]string, len(sweeps))
+	for i, s := range sweeps {
+		w, err := Run(ctx, s.d, s.pts, s.cfg, Options{Chunk: 4, Cache: store})
+		if err != nil {
+			t.Fatalf("%s cold: %v", s.d.Name(), err)
+		}
+		wants[i] = scoresJSON(t, w)
+	}
+	for i, s := range sweeps {
+		counting := &countingDomain{Domain: s.d}
+		got, err := Run(ctx, counting, s.pts, s.cfg, Options{Chunk: 4, Cache: store})
+		if err != nil {
+			t.Fatalf("%s warm: %v", s.d.Name(), err)
+		}
+		if n := counting.points.Load(); n != 0 {
+			t.Fatalf("%s warm rerun simulated %d points, want 0", s.d.Name(), n)
+		}
+		if scoresJSON(t, got) != wants[i] {
+			t.Fatalf("%s warm rerun differs from its cold run", s.d.Name())
+		}
+	}
+}

@@ -32,6 +32,12 @@
 //     used for validation (Section 5).
 //   - internal/gossip    — DSA applied to the gossip domain
 //     (Sections 3.1, 7).
+//   - internal/delivery  — DSA applied to the content-delivery
+//     orchestration domain: a debswarm-style chunked downloader over
+//     peers + mirror, with adversarial scenarios inside the design
+//     space (Section 7's generalisation claim).
+//   - internal/bandwidth — the Piatek et al. upload-capacity
+//     distribution peers are initialised from.
 //
 // The type aliases and constructors here cover the common workflow:
 // enumerate or pick protocols, quantify them with PRA, and validate
@@ -53,8 +59,9 @@ import (
 	"repro/internal/pra"
 	"repro/internal/swarm"
 
-	// Register the built-in gossip domain (pra registers swarming and
-	// is imported above).
+	// Register the built-in gossip and delivery domains (pra registers
+	// swarming and is imported above).
+	_ "repro/internal/delivery"
 	_ "repro/internal/gossip"
 )
 
@@ -136,8 +143,9 @@ var ErrSweepIncomplete = job.ErrIncomplete
 
 // Domains returns every registered DSA domain, sorted by name. The
 // built-ins — the file-swarming space of Section 4 ("swarming",
-// internal/pra) and the gossip space of Section 3.1 ("gossip",
-// internal/gossip) — register on import; additional domains appear
+// internal/pra), the gossip space of Section 3.1 ("gossip",
+// internal/gossip) and the download-orchestration space ("delivery",
+// internal/delivery) — register on import; additional domains appear
 // here once their package is imported.
 func Domains() []Domain { return dsa.Registered() }
 

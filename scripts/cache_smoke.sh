@@ -2,9 +2,11 @@
 # Score-cache smoke test with real processes: a dsa-sweep runs cold
 # with -cache-dir, runs again warm on the same directory, and a third
 # time with no cache at all — all three CSVs must be byte-identical
-# (caching may never change values). Then the warm/cold explorer
-# benchmark pair must show the PR's headline >= 5x speedup. Run from
-# the repo root; CI runs it on every push.
+# (caching may never change values). The gossip and delivery domains
+# both go through that discipline against one shared cache directory.
+# Then the warm/cold explorer benchmark pair must show the PR's
+# headline >= 5x speedup. Run from the repo root; CI runs it on every
+# push.
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -38,6 +40,34 @@ cmp "$workdir/reference.csv" "$workdir/warm.csv"
 if ! grep -Eq "score cache: [1-9][0-9]* hits, 0 misses" "$workdir/warm.log"; then
   echo "warm run did not serve every score from the cache:" >&2
   cat "$workdir/warm.log" >&2
+  exit 1
+fi
+
+# The delivery domain goes through the same discipline — and shares
+# the gossip sweep's cache directory, proving the keyer isolates
+# domains in a real multi-domain store (the warm run must still be
+# all hits / 0 misses for its own entries, never poisoned by gossip's).
+delivery_flags=(-domain delivery -preset quick -stride 8 -peers 8 -rounds 240
+                -perfruns 2 -encruns 1 -seed 11)
+
+echo "== uncached delivery reference sweep"
+"$workdir/dsa-sweep" "${delivery_flags[@]}" -out "$workdir/delivery-reference.csv"
+
+echo "== cold delivery sweep into the shared cache"
+"$workdir/dsa-sweep" "${delivery_flags[@]}" -cache-dir "$workdir/cache" \
+  -out "$workdir/delivery-cold.csv" 2>"$workdir/delivery-cold.log"
+
+echo "== warm delivery sweep over the shared cache"
+"$workdir/dsa-sweep" "${delivery_flags[@]}" -cache-dir "$workdir/cache" \
+  -out "$workdir/delivery-warm.csv" 2>"$workdir/delivery-warm.log"
+
+echo "== comparing all three delivery CSVs"
+cmp "$workdir/delivery-reference.csv" "$workdir/delivery-cold.csv"
+cmp "$workdir/delivery-reference.csv" "$workdir/delivery-warm.csv"
+
+if ! grep -Eq "score cache: [1-9][0-9]* hits, 0 misses" "$workdir/delivery-warm.log"; then
+  echo "warm delivery run did not serve every score from the cache:" >&2
+  cat "$workdir/delivery-warm.log" >&2
   exit 1
 fi
 

@@ -17,7 +17,7 @@
 //
 //	dsa-grid work  -coordinator http://host:8437 [-job ID] [-name ID]
 //	               [-workers N] [-tasks-per-lease N] [-cache-dir DIR]
-//	               [-auth-token SECRET]
+//	               [-auth-token SECRET] [-trace-dir DIR] [-metrics-addr :9090]
 //	               [-cpuprofile FILE] [-memprofile FILE]
 //
 // serve registers the sweep (the sweep-shaping flags mirror dsa-sweep)
@@ -53,8 +53,15 @@
 // memoises scores on the worker side, so a re-leased or overlapping
 // task uploads known values instead of recomputing them; -cpuprofile /
 // -memprofile write pprof profiles of the worker's share of the sweep
-// (see the README's "Benchmarking and profiling" guide). Point a
-// report at the grid with:
+// (see the README's "Benchmarking and profiling" guide).
+//
+// Observability: -trace-dir appends this worker's span journal
+// (trace-<name>.jsonl — lease, lease-batch, task and upload spans,
+// each carrying the request ID the coordinator logs) into DIR, where
+// `dsa-report trace DIR` merges it with other workers' journals.
+// -metrics-addr serves GET /metrics (Prometheus text) with live task /
+// point / lease / upload-retry counters. Point a report at the grid
+// with:
 //
 //	dsa-report -domain D -coordinator http://host:8437 top
 package main
@@ -62,7 +69,10 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -73,7 +83,9 @@ import (
 	"repro/internal/dsa"
 	"repro/internal/exp"
 	"repro/internal/grid"
+	"repro/internal/gridobs"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/pra"
 	"repro/internal/profiling"
 
@@ -281,6 +293,8 @@ func runWork(ctx context.Context, args []string) {
 		perLease    = fs.Int("tasks-per-lease", 0, "tasks per lease call (0 = coordinator's cap)")
 		cacheDir    = fs.String("cache-dir", "", "worker-side score cache; leased tasks reuse known scores")
 		authToken   = fs.String("auth-token", "", "shared secret the coordinator requires (serve -auth-token)")
+		traceDir    = fs.String("trace-dir", "", "append this worker's span journal (trace-<name>.jsonl) into DIR")
+		metricsAddr = fs.String("metrics-addr", "", "serve worker Prometheus counters on this address at GET /metrics")
 		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of this worker to this file")
 		memProf     = fs.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on completion")
 	)
@@ -293,9 +307,40 @@ func runWork(ctx context.Context, args []string) {
 		log.Fatal(err)
 	}
 	defer stopProf()
+	if *name == "" && (*traceDir != "" || *metricsAddr != "") {
+		// Pin the identity now so the journal name, the metric labels in
+		// dashboards and the coordinator's worker column all agree.
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
 	workOpts := grid.WorkerOptions{
 		Name: *name, Workers: *workers, TasksPerLease: *perLease,
 		AuthToken: *authToken, Logf: log.Printf,
+	}
+	if *traceDir != "" {
+		rec, err := obs.OpenDir(*traceDir, *name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rec.Close()
+		workOpts.Trace = rec
+		log.Printf("tracing to %s", obs.JournalPath(*traceDir, *name))
+	}
+	if *metricsAddr != "" {
+		metrics := gridobs.NewWorkerMetrics(nil)
+		workOpts.Metrics = metrics
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		go http.Serve(ln, mux) //nolint:errcheck — dies with the process
+		log.Printf("serving /metrics on %s", ln.Addr())
 	}
 	if *cacheDir != "" {
 		store, err := cache.Open(cache.Options{Dir: *cacheDir})
@@ -303,6 +348,7 @@ func runWork(ctx context.Context, args []string) {
 			log.Fatal(err)
 		}
 		defer store.Close()
+		store.SetTracer(workOpts.Trace)
 		workOpts.Cache = store
 	}
 	err = grid.Work(ctx, *coordinator, *jobID, workOpts)
@@ -310,10 +356,14 @@ func runWork(ctx context.Context, args []string) {
 	case err == nil:
 		log.Printf("job complete")
 	case ctx.Err() != nil:
-		stopProf() // an interrupted worker still leaves a usable profile
+		// log.Fatal skips defers: flush the journal and profiles so an
+		// interrupted worker still leaves usable artifacts.
+		workOpts.Trace.Close()
+		stopProf()
 		log.Fatal("interrupted; held leases will expire and re-queue")
 	default:
-		stopProf() // likewise a worker dying on a grid error
+		workOpts.Trace.Close() // likewise a worker dying on a grid error
+		stopProf()
 		log.Fatal(err)
 	}
 }

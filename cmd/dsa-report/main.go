@@ -16,6 +16,7 @@
 //	dsa-report -domain gossip|delivery -checkpoint DIR -out results.csv merge
 //	dsa-report -cache-dir DIR cache
 //	dsa-report -coordinator http://host:8437 cache
+//	dsa-report trace DIR
 //
 // -checkpoint reads the scores straight out of a dsa-sweep checkpoint
 // directory (the merged manifests of one or more shard processes)
@@ -35,6 +36,17 @@
 // bytes, records dropped as corrupt), with -coordinator it fetches the
 // live counters from GET /v1/cache (hits, misses, tasks served without
 // dispatch).
+//
+// The trace report merges every trace-*.jsonl span journal in DIR —
+// however many sweep shards and grid workers appended there — onto one
+// timeline and renders where the time went: critical path, per-measure
+// task latency with histograms, straggler tasks, cache-hit attribution
+// and per-worker utilization. Journals are crash-tolerant: a torn
+// final line (the writer died mid-append) is skipped, not fatal.
+//
+// -cpuprofile / -memprofile write pprof profiles of the report itself —
+// the sim-backed reports (validate, churn) run real sweeps, and trace
+// can chew through multi-gigabyte journals.
 package main
 
 import (
@@ -53,6 +65,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/job"
 	"repro/internal/pra"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/stats"
 
@@ -65,22 +78,40 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsa-report: ")
 	var (
-		domain = flag.String("domain", pra.DomainName, "design space the input covers, one of: "+strings.Join(dsa.Names(), ", "))
-		in     = flag.String("in", "results.csv", "CSV produced by dsa-sweep")
-		ckpt   = flag.String("checkpoint", "", "dsa-sweep checkpoint dir to read instead of -in")
-		coord  = flag.String("coordinator", "", "dsa-grid coordinator URL to fetch scores from instead of -in")
-		cacheD = flag.String("cache-dir", "", "score cache directory (cache report)")
-		jobID  = flag.String("job", "", "coordinator job ID (default: the first job of -domain)")
-		out    = flag.String("out", "results.csv", "output CSV path (merge)")
-		preset = flag.String("preset", "quick", "quick or paper (validate/churn)")
-		stride = flag.Int("stride", 30, "protocol stride for validate/churn")
-		seed   = flag.Int64("seed", 1, "master seed for validate/churn")
+		domain  = flag.String("domain", pra.DomainName, "design space the input covers, one of: "+strings.Join(dsa.Names(), ", "))
+		in      = flag.String("in", "results.csv", "CSV produced by dsa-sweep")
+		ckpt    = flag.String("checkpoint", "", "dsa-sweep checkpoint dir to read instead of -in")
+		coord   = flag.String("coordinator", "", "dsa-grid coordinator URL to fetch scores from instead of -in")
+		cacheD  = flag.String("cache-dir", "", "score cache directory (cache report)")
+		jobID   = flag.String("job", "", "coordinator job ID (default: the first job of -domain)")
+		out     = flag.String("out", "results.csv", "output CSV path (merge)")
+		preset  = flag.String("preset", "quick", "quick or paper (validate/churn)")
+		stride  = flag.Int("stride", 30, "protocol stride for validate/churn")
+		seed    = flag.Int64("seed", 1, "master seed for validate/churn")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of this report to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on completion")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		log.Fatal("usage: dsa-report [flags] fig2|fig3|fig4|fig5|fig6|fig7|fig8|table3|top|merge|validate|churn (swarming) or top|scatter|merge (-domain others)")
+	if flag.NArg() < 1 {
+		log.Fatal("usage: dsa-report [flags] fig2|fig3|fig4|fig5|fig6|fig7|fig8|table3|top|merge|validate|churn (swarming), top|scatter|merge (-domain others), cache, or trace DIR")
 	}
 	what := flag.Arg(0)
+	stopProf, profErr := profiling.Start(*cpuProf, *memProf)
+	if profErr != nil {
+		log.Fatal(profErr)
+	}
+	defer stopProf()
+
+	if what == "trace" {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: dsa-report trace DIR (a -trace-dir holding trace-*.jsonl journals)")
+		}
+		runTrace(flag.Arg(1))
+		return
+	}
+	if flag.NArg() != 1 {
+		log.Fatalf("report %q takes no argument", what)
+	}
 
 	if what == "cache" {
 		runCacheReport(*cacheD, *coord)

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dsa"
+	"repro/internal/obs"
 )
 
 // Key is the content address of one score (see dsa.NewScoreKeyer for
@@ -72,6 +73,8 @@ type Store struct {
 	flight   map[Key]*flightCall
 
 	hits, misses, puts, evictions, dropped, flights, flightWaits atomic.Uint64
+
+	trace atomic.Pointer[obs.Recorder] // nil until SetTracer
 }
 
 type flightCall struct {
@@ -104,11 +107,21 @@ func Open(opts Options) (*Store, error) {
 	return s, nil
 }
 
+// SetTracer wires an obs recorder into the store: every Get reports
+// its outcome as a "cache-lookup" event and every Put is counted.
+// Observation only — lookups and stores behave identically with or
+// without one. Safe to call concurrently with operations; a nil
+// recorder detaches.
+func (s *Store) SetTracer(r *obs.Recorder) {
+	s.trace.Store(r)
+}
+
 // Get returns the cached score for k, consulting the LRU first and
 // the segment log second (promoting disk hits into the LRU).
 func (s *Store) Get(k Key) (float64, bool) {
 	if v, ok := s.mem.get(k); ok {
 		s.hits.Add(1)
+		s.trace.Load().CacheLookup(true)
 		return v, true
 	}
 	if s.disk != nil {
@@ -118,10 +131,12 @@ func (s *Store) Get(k Key) (float64, bool) {
 		if ok {
 			s.evictions.Add(uint64(s.mem.put(k, v)))
 			s.hits.Add(1)
+			s.trace.Load().CacheLookup(true)
 			return v, true
 		}
 	}
 	s.misses.Add(1)
+	s.trace.Load().CacheLookup(false)
 	return 0, false
 }
 
@@ -131,6 +146,7 @@ func (s *Store) Get(k Key) (float64, bool) {
 // otherwise healthy sweep into an error.
 func (s *Store) Put(k Key, v float64) {
 	s.puts.Add(1)
+	s.trace.Load().CountCachePut()
 	s.evictions.Add(uint64(s.mem.put(k, v)))
 	if s.disk != nil {
 		s.diskMu.Lock()

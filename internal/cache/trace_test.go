@@ -1,0 +1,59 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSetTracerReportsOutcomes pins the instrumented store: every Get
+// reports its outcome into the recorder, every Put is counted, values
+// are untouched, and detaching the tracer stops the reporting.
+func TestSetTracerReportsOutcomes(t *testing.T) {
+	s, err := Open(Options{MemEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rec := obs.NewRecorder("store")
+	s.SetTracer(rec)
+
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put(key(1), 0.5)
+	if v, ok := s.Get(key(1)); !ok || v != 0.5 {
+		t.Fatalf("get = %v,%v, want 0.5,true", v, ok)
+	}
+	if v, err := s.GetOrCompute(key(2), func() (float64, error) { return 0.25, nil }); err != nil || v != 0.25 {
+		t.Fatalf("GetOrCompute = %v,%v", v, err)
+	}
+
+	st := rec.Stats()
+	// Get(1) miss, Get(1) hit, GetOrCompute: Get(2) miss + ownership
+	// re-check miss, then Put(2).
+	if st.CacheHits != 1 {
+		t.Errorf("tracer hits = %d, want 1", st.CacheHits)
+	}
+	if st.CacheMisses != 3 {
+		t.Errorf("tracer misses = %d, want 3", st.CacheMisses)
+	}
+	if st.CachePuts != 2 {
+		t.Errorf("tracer puts = %d, want 2", st.CachePuts)
+	}
+	// Store's own counters agree with what the tracer saw.
+	cs := s.Stats()
+	if cs.Hits != st.CacheHits || cs.Misses != st.CacheMisses || cs.Puts != st.CachePuts {
+		t.Errorf("store stats %+v disagree with tracer %+v", cs, st)
+	}
+
+	s.SetTracer(nil) // detach: operations keep working, reporting stops
+	s.Put(key(3), 1)
+	if _, ok := s.Get(key(3)); !ok {
+		t.Fatal("get after detach failed")
+	}
+	if after := rec.Stats(); after != st {
+		t.Errorf("detached tracer still counting: %+v vs %+v", after, st)
+	}
+}

@@ -45,6 +45,12 @@ type HillClimbConfig struct {
 	Restarts int   // independent restarts from random valid points (>=1)
 	MaxSteps int   // step cap per restart (>=1)
 	Seed     int64 // RNG seed for restart points
+	// OnRestart, if non-nil, is called after each restart finishes with
+	// the restart index, the steps taken, the fresh objective calls it
+	// cost, and the point it converged to. Purely observational — it
+	// cannot influence the search (see internal/obs for the tracer
+	// that hangs off it).
+	OnRestart func(restart, steps, calls int, got Evaluation)
 }
 
 // HillClimb performs steepest-ascent hill climbing with random
@@ -78,6 +84,8 @@ func HillClimb(s *Space, obj Objective, cfg HillClimbConfig) (Evaluation, int, e
 	var best Evaluation
 	haveBest := false
 	for r := 0; r < cfg.Restarts; r++ {
+		callsBefore := calls
+		steps := 0
 		cur := pts[rng.Intn(len(pts))]
 		curScore, err := eval(cur)
 		if err != nil {
@@ -101,10 +109,14 @@ func HillClimb(s *Space, obj Objective, cfg HillClimbConfig) (Evaluation, int, e
 				break
 			}
 			cur, curScore = bestN, bestNScore
+			steps++
 		}
 		if !haveBest || curScore > best.Score {
 			best = Evaluation{Point: cur, Score: curScore}
 			haveBest = true
+		}
+		if cfg.OnRestart != nil {
+			cfg.OnRestart(r, steps, calls-callsBefore, Evaluation{Point: cur, Score: curScore})
 		}
 	}
 	return best, calls, nil
@@ -117,6 +129,10 @@ type EvolveConfig struct {
 	MutationP   float64 // per-dimension mutation probability (default 0.2 if 0)
 	Elite       int     // individuals carried over unchanged (default 1 if 0)
 	Seed        int64
+	// OnGeneration, if non-nil, is called after each generation is
+	// scored and ranked, with the generation index, the fresh objective
+	// calls it cost, and the generation's best. Purely observational.
+	OnGeneration func(gen, calls int, best Evaluation)
 }
 
 // Evolve runs a (μ+λ)-style evolutionary search: tournament selection,
@@ -176,6 +192,7 @@ func Evolve(s *Space, obj Objective, cfg EvolveConfig) (Evaluation, int, error) 
 	}
 
 	for g := 0; g < cfg.Generations; g++ {
+		callsBefore := calls
 		next := make([]Evaluation, 0, cfg.Population)
 		next = append(next, pop[:cfg.Elite]...)
 		for len(next) < cfg.Population {
@@ -202,6 +219,9 @@ func Evolve(s *Space, obj Objective, cfg EvolveConfig) (Evaluation, int, error) 
 		}
 		pop = next
 		sortPop()
+		if cfg.OnGeneration != nil {
+			cfg.OnGeneration(g, calls-callsBefore, pop[0])
+		}
 	}
 	return pop[0], calls, nil
 }

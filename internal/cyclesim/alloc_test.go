@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bandwidth"
 	"repro/internal/design"
+	"repro/internal/obs"
 )
 
 // TestRoundLoopAllocFree pins the per-round steady state at exactly 0
@@ -57,6 +58,36 @@ func TestRoundLoopAllocFree(t *testing.T) {
 				t.Errorf("round loop allocates %v objects/round in steady state, want 0", avg)
 			}
 		})
+	}
+}
+
+// TestRoundLoopAllocFreeWithRecorder pins the observability contract
+// at its sharpest point: the round loop stays at 0 allocations even
+// with a journaling obs recorder live in the process — and even
+// journaling a span every round (far finer than production, which
+// records at the task level) costs nothing. Tracing a sweep cannot
+// regress the PR 5 hot-path guarantees.
+func TestRoundLoopAllocFreeWithRecorder(t *testing.T) {
+	rec, err := obs.OpenDir(t.TempDir(), "alloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	dist := bandwidth.Piatek()
+	w := newWorld(allocSpecs(design.BitTorrent(), 40), 11)
+	round := func() {
+		s := rec.Start(0, "round").Int("round", int64(w.round))
+		w.step()
+		w.churn(0.05, dist)
+		s.End()
+		w.round++
+	}
+	for r := 0; r < 60; r++ { // steady state for world and recorder both
+		round()
+	}
+	if avg := testing.AllocsPerRun(300, round); avg != 0 {
+		t.Errorf("round loop with live recorder allocates %v objects/round, want 0", avg)
 	}
 }
 

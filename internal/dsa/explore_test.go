@@ -27,7 +27,7 @@ import (
 // composition — the same contract real domains honour.
 type fakeDomain struct {
 	name     string
-	version  int          // reported via ScoreVersion
+	version  int // reported via ScoreVersion
 	space    *core.Space
 	index    map[string]int
 	points   []core.Point

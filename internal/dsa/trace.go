@@ -1,0 +1,81 @@
+package dsa
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// HillClimbTraced is HillClimb with span recording: an "explore" root
+// span for the whole search and a "restart" child span per restart
+// (steps, fresh objective calls, converged score). The search itself
+// is untouched — same seeds, same memoisation, same result — and a
+// nil recorder makes this exactly HillClimb. Installs its own
+// hcfg.OnRestart; callers wanting both tracing and their own hook
+// should chain inside the hook they pass to plain HillClimb.
+func HillClimbTraced(d Domain, w Weights, cfg Config, hcfg core.HillClimbConfig, c ScoreCache, rec *obs.Recorder) (core.Evaluation, int, error) {
+	if rec == nil {
+		return HillClimb(d, w, cfg, hcfg, c)
+	}
+	root := rec.Start(0, "explore").
+		Str("domain", d.Name()).
+		Str("explorer", "hillclimb").
+		Int("restarts", int64(hcfg.Restarts))
+	last := rec.Now()
+	prev := hcfg.OnRestart
+	hcfg.OnRestart = func(restart, steps, calls int, got core.Evaluation) {
+		now := rec.Now()
+		rec.Interval(root.ID(), "restart", last, now).
+			Int("restart", int64(restart)).
+			Int("steps", int64(steps)).
+			Int("calls", int64(calls)).
+			Float("score", got.Score).
+			End()
+		last = now
+		if prev != nil {
+			prev(restart, steps, calls, got)
+		}
+	}
+	best, calls, err := HillClimb(d, w, cfg, hcfg, c)
+	if err != nil {
+		root.Drop()
+		return best, calls, err
+	}
+	root.Int("calls", int64(calls)).Float("best", best.Score).End()
+	return best, calls, nil
+}
+
+// EvolveTraced is Evolve with span recording: an "explore" root span
+// and a "generation" child span per generation (fresh objective calls,
+// generation best). Same contract as HillClimbTraced: observation
+// only, nil recorder degrades to plain Evolve.
+func EvolveTraced(d Domain, w Weights, cfg Config, ecfg core.EvolveConfig, c ScoreCache, rec *obs.Recorder) (core.Evaluation, int, error) {
+	if rec == nil {
+		return Evolve(d, w, cfg, ecfg, c)
+	}
+	root := rec.Start(0, "explore").
+		Str("domain", d.Name()).
+		Str("explorer", "evolve").
+		Int("generations", int64(ecfg.Generations)).
+		Int("population", int64(ecfg.Population))
+	last := rec.Now()
+	prev := ecfg.OnGeneration
+	ecfg.OnGeneration = func(gen, calls int, gbest core.Evaluation) {
+		now := rec.Now()
+		rec.Interval(root.ID(), "generation", last, now).
+			Int("generation", int64(gen)).
+			Int("calls", int64(calls)).
+			Float("score", gbest.Score).
+			End()
+		last = now
+		if prev != nil {
+			prev(gen, calls, gbest)
+		}
+	}
+	best, calls, err := Evolve(d, w, cfg, ecfg, c)
+	if err != nil {
+		root.Drop()
+		return best, calls, err
+	}
+	root.Int("calls", int64(calls)).Float("best", best.Score).End()
+	return best, calls, nil
+}

@@ -68,11 +68,13 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dsa"
+	"repro/internal/gridobs"
 )
 
 // JobSummary is one row of the jobs listing.
@@ -234,17 +236,17 @@ type ResultAck struct {
 // ProgressSnapshot is the live view of a job served by /progress and
 // pushed line-by-line on the streaming variant.
 type ProgressSnapshot struct {
-	JobID    string `json:"job_id"`
-	Total    int    `json:"total_tasks"`
-	Done     int    `json:"done_tasks"`
-	Leased   int    `json:"leased_tasks"`
-	Pending  int    `json:"pending_tasks"`
-	Requeues      int  `json:"requeues"`       // leases that expired back to pending
-	Workers       int  `json:"workers"`        // workers holding a live lease
-	CacheTasks    int  `json:"cache_tasks"`    // tasks served from the score cache, never dispatched
-	LeasesGranted int  `json:"leases_granted"` // tasks handed out on leases, re-leases included
-	Priority      int  `json:"priority"`       // fair-share weight
-	Complete      bool `json:"complete"`
+	JobID         string `json:"job_id"`
+	Total         int    `json:"total_tasks"`
+	Done          int    `json:"done_tasks"`
+	Leased        int    `json:"leased_tasks"`
+	Pending       int    `json:"pending_tasks"`
+	Requeues      int    `json:"requeues"`       // leases that expired back to pending
+	Workers       int    `json:"workers"`        // workers holding a live lease
+	CacheTasks    int    `json:"cache_tasks"`    // tasks served from the score cache, never dispatched
+	LeasesGranted int    `json:"leases_granted"` // tasks handed out on leases, re-leases included
+	Priority      int    `json:"priority"`       // fair-share weight
+	Complete      bool   `json:"complete"`
 }
 
 // CacheStatsResponse is served by GET /v1/cache: the coordinator's
@@ -347,18 +349,45 @@ func postJSON(ctx context.Context, client *http.Client, url string, in, out any)
 	return doJSON(ctx, client, http.MethodPost, url, in, out)
 }
 
+// callInfo reports how one doJSON call actually went on the wire — the
+// request ID it carried and how many attempts it took. An out-param
+// rather than a package hook so in-process multi-worker tests (and the
+// workers themselves) never share mutable state.
+type callInfo struct {
+	requestID string
+	attempts  int
+}
+
 // doJSON issues one JSON request with bounded retries. Retrying every
 // verb is safe against this API by design: job creation and result
 // upload are idempotent, lease duplicates only cost a lease TTL, and
 // heartbeats are refreshes. Non-retryable failures (4xx — the request
 // itself is wrong) surface immediately.
 func doJSON(ctx context.Context, client *http.Client, method, url string, in, out any) error {
+	return doJSONInfo(ctx, client, method, url, in, out, nil)
+}
+
+func postJSONInfo(ctx context.Context, client *http.Client, url string, in, out any, info *callInfo) error {
+	return doJSONInfo(ctx, client, http.MethodPost, url, in, out, info)
+}
+
+// doJSONInfo is doJSON plus client-side request identity: one request
+// ID is generated per call and sent on every attempt (with retries
+// marked via RetryAttemptHeader), so the coordinator's access log and
+// the worker's trace journal name the same rid for the same call —
+// a task is traceable across both sides of the wire. info (optional)
+// receives the rid and the attempt count.
+func doJSONInfo(ctx context.Context, client *http.Client, method, url string, in, out any, info *callInfo) error {
 	var body []byte
 	if in != nil {
 		var err error
 		if body, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	rid := gridobs.NewRequestID()
+	if info != nil {
+		info.requestID = rid
 	}
 	var lastErr error
 	for attempt := 0; attempt < clientAttempts; attempt++ {
@@ -368,6 +397,9 @@ func doJSON(ctx context.Context, client *http.Client, method, url string, in, ou
 			case <-ctx.Done():
 				return ctx.Err()
 			}
+		}
+		if info != nil {
+			info.attempts = attempt + 1
 		}
 		var reqBody io.Reader
 		if in != nil {
@@ -379,6 +411,10 @@ func doJSON(ctx context.Context, client *http.Client, method, url string, in, ou
 		}
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		req.Header.Set(gridobs.RequestIDHeader, rid)
+		if attempt > 0 {
+			req.Header.Set(gridobs.RetryAttemptHeader, strconv.Itoa(attempt))
 		}
 		resp, err := client.Do(req)
 		if err != nil {

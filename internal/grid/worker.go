@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"repro/internal/dsa"
+	"repro/internal/gridobs"
 	"repro/internal/job"
+	"repro/internal/obs"
 )
 
 // WorkerOptions configures a Work loop.
@@ -46,6 +48,15 @@ type WorkerOptions struct {
 	Cache dsa.ScoreCache
 	// Logf, if non-nil, receives worker event logs.
 	Logf func(format string, args ...any)
+	// Trace, if non-nil, journals the worker's side of the sweep:
+	// "lease" and "upload" spans carrying the request ID each HTTP call
+	// sent (the same rid the coordinator logs), with each lease batch's
+	// task spans (job.ExecTasks) parented under a "lease-batch" span.
+	Trace *obs.Recorder
+	// Metrics, if non-nil, receives worker counters (tasks, points
+	// simulated vs cache-served, per-measure latency, upload retries) —
+	// served on dsa-grid work -metrics-addr.
+	Metrics *gridobs.WorkerMetrics
 }
 
 var workerSeq atomic.Int64
@@ -116,11 +127,17 @@ func Work(ctx context.Context, baseURL, jobID string, opts WorkerOptions) error 
 			return err
 		}
 		var lease LeaseResponse
-		err := postJSON(ctx, client, apiURL(baseURL, "jobs", jobID, "lease"),
-			LeaseRequest{Worker: name, MaxTasks: opts.TasksPerLease}, &lease)
+		var info callInfo
+		leaseSpan := opts.Trace.Start(0, "lease")
+		err := postJSONInfo(ctx, client, apiURL(baseURL, "jobs", jobID, "lease"),
+			LeaseRequest{Worker: name, MaxTasks: opts.TasksPerLease}, &lease, &info)
 		if err != nil {
+			leaseSpan.Drop()
 			return err
 		}
+		leaseSpan.Str("rid", info.requestID).Str("job", jobID).
+			Int("granted", int64(len(lease.Tasks))).End()
+		opts.Metrics.ObserveLease(len(lease.Tasks))
 		if lease.Draining {
 			logf("worker %s: coordinator draining, exiting", name)
 			return nil
@@ -155,11 +172,17 @@ func workAny(ctx context.Context, client *http.Client, baseURL, name string, opt
 			return err
 		}
 		var lease GlobalLeaseResponse
-		err := postJSON(ctx, client, apiURL(baseURL, "lease"),
-			LeaseRequest{Worker: name, MaxTasks: opts.TasksPerLease}, &lease)
+		var info callInfo
+		leaseSpan := opts.Trace.Start(0, "lease")
+		err := postJSONInfo(ctx, client, apiURL(baseURL, "lease"),
+			LeaseRequest{Worker: name, MaxTasks: opts.TasksPerLease}, &lease, &info)
 		if err != nil {
+			leaseSpan.Drop()
 			return err
 		}
+		leaseSpan.Str("rid", info.requestID).Str("job", lease.Job).
+			Int("granted", int64(len(lease.Tasks))).End()
+		opts.Metrics.ObserveLease(len(lease.Tasks))
 		if lease.Draining {
 			logf("worker %s: coordinator draining, exiting", name)
 			return nil
@@ -248,6 +271,7 @@ func runLease(ctx context.Context, client *http.Client, baseURL, jobID, name str
 					delete(held, id)
 				}
 				mu.Unlock()
+				opts.Metrics.ObserveLeasesLost(len(resp.Lost))
 				logf("worker %s: %d leases lost (expired or done elsewhere)", name, len(resp.Lost))
 			}
 		}
@@ -257,13 +281,29 @@ func runLease(ctx context.Context, client *http.Client, baseURL, jobID, name str
 		hbWG.Wait()
 	}()
 
-	return job.ExecTasks(ctx, spec, tasks, job.ExecOptions{Workers: opts.Workers, Cache: opts.Cache}, func(t job.Task, values []float64, elapsed time.Duration) error {
+	batch := opts.Trace.Start(0, "lease-batch").
+		Str("job", jobID).Int("tasks", int64(len(tasks)))
+	defer batch.End()
+	execOpts := job.ExecOptions{
+		Workers: opts.Workers, Cache: opts.Cache,
+		Trace: opts.Trace, TraceParent: batch.ID(),
+		OnTask: func(ts job.TaskStats) {
+			opts.Metrics.ObserveTask(ts.Task.Measure, ts.Elapsed, ts.Simulated, ts.CacheHits)
+		},
+	}
+	return job.ExecTasks(ctx, spec, tasks, execOpts, func(t job.Task, values []float64, elapsed time.Duration) error {
 		var ack ResultAck
-		err := postJSON(ctx, client, apiURL(baseURL, "jobs", jobID, "results"),
-			ResultUpload{Worker: name, Task: t.ID(), Values: WireFloats(values), ElapsedMS: elapsed.Milliseconds()}, &ack)
+		var info callInfo
+		upload := opts.Trace.Start(batch.ID(), "upload").Str("task", t.ID())
+		err := postJSONInfo(ctx, client, apiURL(baseURL, "jobs", jobID, "results"),
+			ResultUpload{Worker: name, Task: t.ID(), Values: WireFloats(values), ElapsedMS: elapsed.Milliseconds()}, &ack, &info)
 		if err != nil {
+			upload.Drop()
 			return err
 		}
+		upload.Str("rid", info.requestID).Int("attempts", int64(info.attempts)).End()
+		opts.Metrics.ObserveUpload(info.attempts - 1)
+		opts.Trace.CountUploadRetries(info.attempts - 1)
 		mu.Lock()
 		delete(held, t.ID())
 		mu.Unlock()
@@ -273,4 +313,3 @@ func runLease(ctx context.Context, client *http.Client, baseURL, jobID, name str
 		return nil
 	})
 }
-

@@ -14,6 +14,19 @@ import (
 // carries the header.
 const RequestIDHeader = "X-Request-ID"
 
+// RetryAttemptHeader marks client retries: absent on the first attempt
+// of a call, "1", "2", … on retries. The ID in RequestIDHeader stays
+// constant across one call's attempts, so coordinator logs show a
+// retried upload as the same rid with increasing retry marks rather
+// than as unrelated requests.
+const RetryAttemptHeader = "X-Retry-Attempt"
+
+// NewRequestID returns a fresh 16-hex-char request ID — the same shape
+// the Instrument middleware assigns. Exported for clients (the grid
+// worker) that generate their own IDs so a call is correlatable on
+// both sides of the wire.
+func NewRequestID() string { return newRequestID() }
+
 type ctxKey int
 
 const requestIDKey ctxKey = 0

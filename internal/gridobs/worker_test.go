@@ -1,0 +1,42 @@
+package gridobs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWorkerMetricsExposition(t *testing.T) {
+	m := NewWorkerMetrics(nil)
+	m.ObserveLease(4)
+	m.ObserveTask("performance", 120*time.Millisecond, 6, 2)
+	m.ObserveTask("robustness", 40*time.Millisecond, 0, 8)
+	m.ObserveUpload(0)
+	m.ObserveUpload(2)
+	m.ObserveLeasesLost(1)
+
+	rr := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != TextContentType {
+		t.Errorf("content type = %q", ct)
+	}
+	text := rr.Body.String()
+	for _, want := range []string{
+		"worker_tasks_total 2",
+		"worker_points_simulated_total 6",
+		"worker_points_cache_served_total 10",
+		"worker_lease_requests_total 1",
+		"worker_leased_tasks_total 4",
+		"worker_uploads_total 2",
+		"worker_upload_retries_total 2",
+		"worker_leases_lost_total 1",
+		`worker_task_seconds_count{measure="performance"} 1`,
+		`worker_task_seconds_count{measure="robustness"} 1`,
+		"worker_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package job
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dsa"
+	"repro/internal/obs"
+	"repro/internal/pra"
+)
+
+// benchPoints strides the swarming space down to a bench-sized subset.
+func benchPoints(b *testing.B) []core.Point {
+	b.Helper()
+	all := pra.Domain().Space().Enumerate()
+	var pts []core.Point
+	for i := 0; i < len(all); i += 100 {
+		pts = append(pts, all[i])
+	}
+	return pts
+}
+
+func benchCfg() dsa.Config {
+	return dsa.Config{Peers: 10, Rounds: 30, PerfRuns: 1, EncounterRuns: 1, Opponents: 4, Seed: 7}
+}
+
+// benchExecTasks is the shared body of the traced/untraced pair below.
+// Real pra simulation per task keeps per-op cost in simulation, where
+// it is in production — so the pair's delta isolates what tracing
+// adds, and scripts/trace_smoke.sh pins that delta under 5%.
+func benchExecTasks(b *testing.B, rec *obs.Recorder) {
+	ctx := context.Background()
+	spec := Spec{Domain: pra.Domain(), Points: benchPoints(b), Cfg: benchCfg(), Chunk: 8}
+	tasks := spec.Tasks()
+	sink := func(Task, []float64, time.Duration) error { return nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := ExecOptions{Workers: 4, Trace: rec}
+		if err := ExecTasks(ctx, spec, tasks, opts, sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecTasks(b *testing.B) {
+	benchExecTasks(b, nil)
+}
+
+func BenchmarkExecTasksTraced(b *testing.B) {
+	rec, err := obs.OpenDir(b.TempDir(), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rec.Close()
+	benchExecTasks(b, rec)
+}

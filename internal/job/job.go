@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dsa"
+	"repro/internal/obs"
 )
 
 // DefaultChunk is the number of points per task: small enough that a
@@ -112,6 +113,11 @@ type Options struct {
 	// worker goroutine; keep the callback fast — it blocks result
 	// recording.
 	Progress func(Progress)
+	// Trace, if non-nil, records the sweep: a "sweep" root span for the
+	// whole Run plus a "task" span per executed task with cache-lookup
+	// and simulate children (see internal/obs). Tracing never changes
+	// results — traced and untraced sweeps are byte-identical.
+	Trace *obs.Recorder
 }
 
 // ErrIncomplete reports that this process's share of the sweep is done
@@ -145,6 +151,15 @@ func Run(ctx context.Context, d dsa.Domain, points []core.Point, cfg dsa.Config,
 	spec := Spec{Domain: d, Points: points, Cfg: cfg, Chunk: opts.Chunk}
 	tasks := spec.Tasks()
 
+	sweep := opts.Trace.Start(0, "sweep").
+		Str("domain", d.Name()).
+		Int("points", int64(len(points))).
+		Int("tasks", int64(len(tasks))).
+		Int("shards", int64(shards)).
+		Int("shard_index", int64(opts.ShardIndex))
+	done := 0
+	defer func() { sweep.Int("done", int64(done)).End() }()
+
 	results := make(map[string][]float64, len(tasks))
 	var cp *checkpoint
 	if opts.Dir != "" {
@@ -174,7 +189,7 @@ func Run(ctx context.Context, d dsa.Domain, points []core.Point, cfg dsa.Config,
 		mine = append(mine, t)
 	}
 
-	if err := runPool(ctx, spec, mine, cp, results, opts, len(tasks)); err != nil {
+	if err := runPool(ctx, spec, mine, cp, results, opts, len(tasks), sweep.ID(), &done); err != nil {
 		return nil, err
 	}
 	if cp != nil && len(results) < len(tasks) {
@@ -201,13 +216,14 @@ func Run(ctx context.Context, d dsa.Domain, points []core.Point, cfg dsa.Config,
 // runPool executes the pending tasks on a bounded worker pool,
 // journalling and recording each result as it lands; the first task or
 // sink error, or a context cancellation, stops the pool.
-func runPool(ctx context.Context, spec Spec, mine []Task, cp *checkpoint, results map[string][]float64, opts Options, total int) error {
+func runPool(ctx context.Context, spec Spec, mine []Task, cp *checkpoint, results map[string][]float64, opts Options, total int, parent obs.SpanID, freshOut *int) error {
 	start := time.Now()
 	var (
 		mu    sync.Mutex
 		fresh int
 	)
-	return ExecTasks(ctx, spec, mine, ExecOptions{Workers: opts.Workers, Cache: opts.Cache}, func(t Task, vals []float64, elapsed time.Duration) error {
+	execOpts := ExecOptions{Workers: opts.Workers, Cache: opts.Cache, Trace: opts.Trace, TraceParent: parent}
+	return ExecTasks(ctx, spec, mine, execOpts, func(t Task, vals []float64, elapsed time.Duration) error {
 		// The checkpoint write (with its fsyncs) runs concurrently
 		// across pool workers — record has its own manifest lock; only
 		// the in-memory bookkeeping and the Progress callback (whose
@@ -221,6 +237,7 @@ func runPool(ctx context.Context, spec Spec, mine []Task, cp *checkpoint, result
 		defer mu.Unlock()
 		results[t.ID()] = vals
 		fresh++
+		*freshOut = fresh
 		snap := Progress{
 			TotalTasks: total,
 			DoneTasks:  len(results),
@@ -249,6 +266,27 @@ type ExecOptions struct {
 	// the missing points (safe because ScoreSlice seeds from point
 	// identity — any subset recombines exactly).
 	Cache dsa.ScoreCache
+	// Trace, if non-nil, records a "task" span per executed task
+	// (measure, point count, cache hits, simulated count) with
+	// cache-lookup and simulate child spans, parented under
+	// TraceParent. The task span covers compute only — sink time
+	// (checkpoint fsync, grid upload) is the caller's to trace.
+	Trace       *obs.Recorder
+	TraceParent obs.SpanID
+	// OnTask, if non-nil, is called after each task completes, before
+	// its sink. Unlike the sink it carries the cache attribution —
+	// the seam worker metrics hang off. Called concurrently from pool
+	// goroutines; must be safe for concurrent use.
+	OnTask func(TaskStats)
+}
+
+// TaskStats is one completed task's accounting, as delivered to
+// ExecOptions.OnTask.
+type TaskStats struct {
+	Task      Task
+	Elapsed   time.Duration // compute time (cache lookups + simulation)
+	CacheHits int           // points served from the score cache
+	Simulated int           // points computed by ScoreSlice
 }
 
 // ExecTasks computes tasks on a bounded worker pool — the execution
@@ -324,12 +362,30 @@ func ExecTasks(ctx context.Context, spec Spec, tasks []Task, opts ExecOptions, s
 					return
 				}
 				taskStart := time.Now()
-				vals, err := execTask(spec, t, opponents, taskCfg, keyer, opts.Cache)
+				span := opts.Trace.Start(opts.TraceParent, "task")
+				vals, hits, err := execTask(spec, t, opponents, taskCfg, keyer, opts.Cache, opts.Trace, span.ID())
 				if err != nil {
+					span.Drop()
 					fail(fmt.Errorf("job: task %s: %w", t.ID(), err))
 					return
 				}
-				if err := sink(t, vals, time.Since(taskStart)); err != nil {
+				elapsed := time.Since(taskStart)
+				simulated := (t.Hi - t.Lo) - hits
+				// End before the sink: the task span measures compute,
+				// not checkpointing or upload.
+				span.Str("task", t.ID()).
+					Str("measure", t.Measure).
+					Int("points", int64(t.Hi-t.Lo)).
+					Int("cache_hits", int64(hits)).
+					Int("simulated", int64(simulated)).
+					End()
+				opts.Trace.CountTask(1)
+				opts.Trace.CountSimulated(simulated)
+				opts.Trace.CountCached(hits)
+				if opts.OnTask != nil {
+					opts.OnTask(TaskStats{Task: t, Elapsed: elapsed, CacheHits: hits, Simulated: simulated})
+				}
+				if err := sink(t, vals, elapsed); err != nil {
 					fail(err)
 					return
 				}
@@ -358,18 +414,30 @@ feed:
 // subset — point-identity seeding makes the recombination exact), then
 // recorded. Cached and computed values are byte-identical by the
 // domain determinism contract, which the parity tests pin down.
-func execTask(spec Spec, t Task, opponents []core.Point, cfg dsa.Config, keyer *dsa.ScoreKeyer, cache dsa.ScoreCache) ([]float64, error) {
+// Returns the number of points served from the cache alongside the
+// values; rec (nil-safe) gets "cache-lookup" and "simulate" child
+// spans under parent.
+func execTask(spec Spec, t Task, opponents []core.Point, cfg dsa.Config, keyer *dsa.ScoreKeyer, cache dsa.ScoreCache, rec *obs.Recorder, parent obs.SpanID) ([]float64, int, error) {
 	pts := spec.Points[t.Lo:t.Hi]
 	if cache == nil {
-		return spec.Domain.ScoreSlice(t.Measure, pts, opponents, cfg)
+		sim := rec.Start(parent, "simulate").Int("points", int64(len(pts)))
+		vals, err := spec.Domain.ScoreSlice(t.Measure, pts, opponents, cfg)
+		if err != nil {
+			sim.Drop()
+			return nil, 0, err
+		}
+		sim.End()
+		return vals, 0, nil
 	}
+	lookup := rec.Start(parent, "cache-lookup")
 	keys := make([]dsa.CacheKey, len(pts))
 	vals := make([]float64, len(pts))
 	miss := make([]int, 0, len(pts))
 	for i, p := range pts {
 		id, err := spec.Domain.PointID(p)
 		if err != nil {
-			return nil, err
+			lookup.Drop()
+			return nil, 0, err
 		}
 		keys[i] = keyer.Key(t.Measure, id)
 		if v, ok := cache.Get(keys[i]); ok {
@@ -378,8 +446,10 @@ func execTask(spec Spec, t Task, opponents []core.Point, cfg dsa.Config, keyer *
 			miss = append(miss, i)
 		}
 	}
+	hits := len(pts) - len(miss)
+	lookup.Int("hits", int64(hits)).Int("misses", int64(len(miss))).End()
 	if len(miss) == 0 {
-		return vals, nil
+		return vals, hits, nil
 	}
 	missPts := pts
 	if len(miss) < len(pts) {
@@ -388,18 +458,21 @@ func execTask(spec Spec, t Task, opponents []core.Point, cfg dsa.Config, keyer *
 			missPts[j] = pts[i]
 		}
 	}
+	sim := rec.Start(parent, "simulate").Int("points", int64(len(missPts)))
 	computed, err := spec.Domain.ScoreSlice(t.Measure, missPts, opponents, cfg)
 	if err != nil {
-		return nil, err
+		sim.Drop()
+		return nil, 0, err
 	}
+	sim.End()
 	if len(computed) != len(missPts) {
-		return nil, fmt.Errorf("job: ScoreSlice returned %d values for %d points", len(computed), len(missPts))
+		return nil, 0, fmt.Errorf("job: ScoreSlice returned %d values for %d points", len(computed), len(missPts))
 	}
 	for j, i := range miss {
 		vals[i] = computed[j]
 		cache.Put(keys[i], computed[j])
 	}
-	return vals, nil
+	return vals, hits, nil
 }
 
 // AssembleScores stitches per-task value slices (task ID → values)

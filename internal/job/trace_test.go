@@ -1,0 +1,199 @@
+package job
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/pra"
+)
+
+// TestTracedRunIdentical pins the first obs contract at the engine
+// seam: a traced sweep and an untraced sweep produce identical Scores.
+func TestTracedRunIdentical(t *testing.T) {
+	ctx := context.Background()
+	pts := subset(t)
+
+	plain := mustRun(t, ctx, pts, Options{Chunk: 4, Workers: 2})
+
+	rec, err := obs.OpenDir(t.TempDir(), "s0of1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := mustRun(t, ctx, pts, Options{Chunk: 4, Workers: 2, Trace: rec})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Raw, traced.Raw) {
+		t.Fatal("traced sweep diverged from untraced")
+	}
+}
+
+func TestRunJournalsSweepAndTasks(t *testing.T) {
+	ctx := context.Background()
+	pts := subset(t)
+	dir := t.TempDir()
+	rec, err := obs.OpenDir(dir, "s0of1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, ctx, pts, Options{Chunk: 4, Workers: 2, Trace: rec})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := obs.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Domain: pra.Domain(), Points: pts, Cfg: tinyCfg(), Chunk: 4}
+	wantTasks := len(spec.Tasks())
+
+	var sweep *obs.Record
+	tasks := 0
+	sims := 0
+	for i := range recs {
+		switch recs[i].Name {
+		case "sweep":
+			sweep = &recs[i]
+		case "task":
+			tasks++
+		case "simulate":
+			sims++
+		}
+	}
+	if sweep == nil {
+		t.Fatal("no sweep span journalled")
+	}
+	if got := sweep.AttrStr("domain"); got != pra.Domain().Name() {
+		t.Errorf("sweep domain = %q", got)
+	}
+	if got := sweep.AttrInt("tasks"); got != int64(wantTasks) {
+		t.Errorf("sweep tasks attr = %d, want %d", got, wantTasks)
+	}
+	if got := sweep.AttrInt("done"); got != int64(wantTasks) {
+		t.Errorf("sweep done attr = %d, want %d", got, wantTasks)
+	}
+	if tasks != wantTasks {
+		t.Errorf("task spans = %d, want %d", tasks, wantTasks)
+	}
+	if sims != wantTasks { // no cache: every task simulates once
+		t.Errorf("simulate spans = %d, want %d", sims, wantTasks)
+	}
+	// Task spans parent under the sweep and carry full attribution.
+	for _, r := range recs {
+		if r.Name != "task" {
+			continue
+		}
+		if r.Parent != sweep.ID {
+			t.Fatalf("task span parent = %d, want sweep %d", r.Parent, sweep.ID)
+		}
+		pts := r.AttrInt("points")
+		if pts <= 0 || r.AttrStr("measure") == "" || r.AttrStr("task") == "" {
+			t.Fatalf("task span missing attribution: %+v", r)
+		}
+		if r.AttrInt("cache_hits")+r.AttrInt("simulated") != pts {
+			t.Fatalf("task span hits+simulated != points: %+v", r)
+		}
+	}
+
+	st := rec.Stats()
+	if st.TasksDone != uint64(wantTasks) {
+		t.Errorf("stats tasks = %d, want %d", st.TasksDone, wantTasks)
+	}
+	wantPoints := uint64(len(pts) * len(pra.Domain().Measures()))
+	if st.PointsSimulated != wantPoints || st.PointsCached != 0 {
+		t.Errorf("stats points sim/cached = %d/%d, want %d/0", st.PointsSimulated, st.PointsCached, wantPoints)
+	}
+}
+
+// TestTracedCacheAttribution runs the same sweep twice over one warmed
+// store: the second run's task spans must attribute every point to the
+// cache, and the store's lookup events must land in the same journal.
+func TestTracedCacheAttribution(t *testing.T) {
+	ctx := context.Background()
+	pts := subset(t)
+	store, err := cache.Open(cache.Options{MemEntries: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	dir := t.TempDir()
+	rec, err := obs.OpenDir(dir, "warm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetTracer(rec)
+
+	var onTask []TaskStats
+	var mu sync.Mutex
+	run := func() {
+		spec := Spec{Domain: pra.Domain(), Points: pts, Cfg: tinyCfg(), Chunk: 4}
+		err := ExecTasks(ctx, spec, spec.Tasks(), ExecOptions{
+			Workers: 2, Cache: store, Trace: rec,
+			OnTask: func(ts TaskStats) {
+				mu.Lock()
+				onTask = append(onTask, ts)
+				mu.Unlock()
+			},
+		}, func(Task, []float64, time.Duration) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // cold: all simulated
+	cold := rec.Stats()
+	if cold.CacheMisses == 0 || cold.CacheHits != 0 {
+		t.Fatalf("cold stats = %+v, want misses only", cold)
+	}
+	onTask = nil
+	run() // warm: all cached
+	warm := rec.Stats()
+	if warm.CacheHits == 0 || warm.CacheMisses != cold.CacheMisses {
+		t.Fatalf("warm stats = %+v", warm)
+	}
+	totalPts := len(pts) * len(pra.Domain().Measures())
+	if got := int(warm.PointsCached); got != totalPts {
+		t.Errorf("points cached after warm run = %d, want %d", got, totalPts)
+	}
+	gotHits, gotSim := 0, 0
+	for _, ts := range onTask {
+		gotHits += ts.CacheHits
+		gotSim += ts.Simulated
+		if ts.Elapsed < 0 {
+			t.Errorf("task %s negative elapsed", ts.Task.ID())
+		}
+	}
+	if gotHits != totalPts || gotSim != 0 {
+		t.Errorf("OnTask warm totals = %d hits / %d simulated, want %d/0", gotHits, gotSim, totalPts)
+	}
+
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := 0, 0
+	for _, r := range recs {
+		if r.Name == "cache-lookup" {
+			switch r.AttrStr("outcome") {
+			case "hit":
+				hits++
+			case "miss":
+				misses++
+			}
+		}
+	}
+	if hits != int(warm.CacheHits) || misses != int(warm.CacheMisses) {
+		t.Errorf("journalled lookup events %d hit / %d miss, stats say %d/%d",
+			hits, misses, warm.CacheHits, warm.CacheMisses)
+	}
+}

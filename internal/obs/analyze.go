@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Analysis is the digest dsa-report trace renders: where wall-clock
+// time went, which measures dominate, which tasks straggled, and how
+// busy each worker was. All durations are on the writers' own
+// monotonic timebases; cross-writer clocks are never compared, only
+// per-writer windows and per-span durations.
+type Analysis struct {
+	Records int // journalled spans and events
+
+	Tasks    int           // "task" spans
+	TaskBusy time.Duration // summed task durations across all writers
+	Wall     time.Duration // widest per-writer window (first start → last end)
+
+	PointsSimulated int64 // summed from task spans
+	PointsCached    int64
+	CacheLookups    int64 // cache-lookup events
+	CacheHits       int64 // cache-lookup events with outcome=hit
+
+	Measures   []MeasureStat // per-measure task timing, one row per measure
+	Workers    []WorkerStat  // per-writer utilization
+	Stragglers []Straggler   // outlier tasks, slowest first
+
+	// CriticalPath is the longest root→leaf chain of nested spans on
+	// any single writer — the sequence a faster component would have
+	// to shorten to shorten the run.
+	CriticalPath []Record
+}
+
+// HistBuckets is the number of equal-width duration buckets in a
+// MeasureStat histogram.
+const HistBuckets = 8
+
+// MeasureStat aggregates the task spans of one measure.
+type MeasureStat struct {
+	Measure string
+	Tasks   int
+
+	Min, Mean, P50, P90, Max time.Duration
+	Total                    time.Duration
+
+	// Hist counts tasks in HistBuckets equal-width duration buckets
+	// spanning [Min, Max].
+	Hist [HistBuckets]int
+
+	Points    int64 // points attributed to this measure's tasks
+	CacheHits int64 // of which cache-served
+	Simulated int64 // of which simulated
+}
+
+// WorkerStat is one writer's (shard's or worker's) utilization.
+type WorkerStat struct {
+	Writer string
+	Tasks  int
+
+	Busy   time.Duration // summed task durations
+	Window time.Duration // first task start → last task end on this writer
+
+	// Parallelism is Busy/Window: mean concurrent tasks in flight.
+	Parallelism float64
+
+	Simulated int64
+	CacheHits int64
+}
+
+// Straggler is a task span far outside its measure's typical
+// duration.
+type Straggler struct {
+	Record  Record
+	Measure string
+	Dur     time.Duration
+	Typical time.Duration // the measure's median
+	Factor  float64       // Dur / Typical
+}
+
+// Analyze digests a merged record timeline (from LoadDir or LoadFile).
+func Analyze(records []Record) *Analysis {
+	a := &Analysis{Records: len(records)}
+	if len(records) == 0 {
+		return a
+	}
+
+	type mAgg struct {
+		durs      []time.Duration
+		total     time.Duration
+		points    int64
+		hits      int64
+		simulated int64
+		tasks     []Record
+	}
+	measures := map[string]*mAgg{}
+	type wAgg struct {
+		tasks     int
+		busy      time.Duration
+		lo, hi    time.Duration
+		simulated int64
+		hits      int64
+		seen      bool
+	}
+	workers := map[string]*wAgg{}
+
+	for _, r := range records {
+		switch r.Name {
+		case "task":
+			a.Tasks++
+			a.TaskBusy += r.Dur()
+			sim := r.AttrInt("simulated")
+			hit := r.AttrInt("cache_hits")
+			a.PointsSimulated += sim
+			a.PointsCached += hit
+
+			m := r.AttrStr("measure")
+			ma := measures[m]
+			if ma == nil {
+				ma = &mAgg{}
+				measures[m] = ma
+			}
+			ma.durs = append(ma.durs, r.Dur())
+			ma.total += r.Dur()
+			ma.points += r.AttrInt("points")
+			ma.hits += hit
+			ma.simulated += sim
+			ma.tasks = append(ma.tasks, r)
+
+			wa := workers[r.Writer]
+			if wa == nil {
+				wa = &wAgg{}
+				workers[r.Writer] = wa
+			}
+			wa.tasks++
+			wa.busy += r.Dur()
+			if !wa.seen || r.Start() < wa.lo {
+				wa.lo = r.Start()
+			}
+			if !wa.seen || r.End() > wa.hi {
+				wa.hi = r.End()
+			}
+			wa.seen = true
+			wa.simulated += sim
+			wa.hits += hit
+		case "cache-lookup":
+			// Instant outcome events from an instrumented cache carry
+			// "outcome"; the job's per-task lookup-phase span does not
+			// and is timing, not a lookup count.
+			switch r.AttrStr("outcome") {
+			case "hit":
+				a.CacheLookups++
+				a.CacheHits++
+			case "miss":
+				a.CacheLookups++
+			}
+		}
+	}
+
+	// Per-measure stats and straggler detection.
+	names := make([]string, 0, len(measures))
+	for m := range measures {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	for _, m := range names {
+		ma := measures[m]
+		sort.Slice(ma.durs, func(i, j int) bool { return ma.durs[i] < ma.durs[j] })
+		n := len(ma.durs)
+		st := MeasureStat{
+			Measure:   m,
+			Tasks:     n,
+			Min:       ma.durs[0],
+			Max:       ma.durs[n-1],
+			P50:       quantile(ma.durs, 0.50),
+			P90:       quantile(ma.durs, 0.90),
+			Mean:      ma.total / time.Duration(n),
+			Total:     ma.total,
+			Points:    ma.points,
+			CacheHits: ma.hits,
+			Simulated: ma.simulated,
+		}
+		width := st.Max - st.Min
+		for _, d := range ma.durs {
+			b := 0
+			if width > 0 {
+				b = int(int64(d-st.Min) * HistBuckets / (int64(width) + 1))
+			}
+			st.Hist[min(b, HistBuckets-1)]++
+		}
+		a.Measures = append(a.Measures, st)
+
+		// A straggler runs past mean+3σ, or past 3× the median when
+		// the sample is big enough for the median to mean something.
+		if n >= 2 {
+			mean := float64(st.Mean)
+			var varsum float64
+			for _, d := range ma.durs {
+				varsum += (float64(d) - mean) * (float64(d) - mean)
+			}
+			sigma := math.Sqrt(varsum / float64(n))
+			med := float64(st.P50)
+			for _, r := range ma.tasks {
+				d := float64(r.Dur())
+				if d > mean+3*sigma || (n >= 8 && med > 0 && d > 3*med) {
+					a.Stragglers = append(a.Stragglers, Straggler{
+						Record:  r,
+						Measure: m,
+						Dur:     r.Dur(),
+						Typical: st.P50,
+						Factor:  d / math.Max(med, 1),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(a.Stragglers, func(i, j int) bool { return a.Stragglers[i].Dur > a.Stragglers[j].Dur })
+	if len(a.Stragglers) > 10 {
+		a.Stragglers = a.Stragglers[:10]
+	}
+
+	// Per-worker utilization, widest window = wall clock estimate.
+	wnames := make([]string, 0, len(workers))
+	for w := range workers {
+		wnames = append(wnames, w)
+	}
+	sort.Strings(wnames)
+	for _, w := range wnames {
+		wa := workers[w]
+		ws := WorkerStat{
+			Writer:    w,
+			Tasks:     wa.tasks,
+			Busy:      wa.busy,
+			Window:    wa.hi - wa.lo,
+			Simulated: wa.simulated,
+			CacheHits: wa.hits,
+		}
+		if ws.Window > 0 {
+			ws.Parallelism = float64(ws.Busy) / float64(ws.Window)
+		}
+		if ws.Window > a.Wall {
+			a.Wall = ws.Window
+		}
+		a.Workers = append(a.Workers, ws)
+	}
+
+	a.CriticalPath = criticalPath(records)
+	return a
+}
+
+// quantile reads q from sorted durations (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// criticalPath finds, per writer, the root span chain with the
+// largest cumulative child duration and returns the longest such
+// chain across writers. Chains never cross writers: each journal has
+// its own monotonic timebase and span ID space.
+func criticalPath(records []Record) []Record {
+	type key struct {
+		w  string
+		id uint64
+	}
+	children := map[key][]Record{}
+	var roots []Record
+	for _, r := range records {
+		if r.Parent == 0 {
+			roots = append(roots, r)
+		} else {
+			k := key{r.Writer, r.Parent}
+			children[k] = append(children[k], r)
+		}
+	}
+	// Longest cumulative chain from r downward. Memo-free DFS is fine:
+	// each span has exactly one parent, so the tree is walked once.
+	var chain func(r Record) (time.Duration, []Record)
+	chain = func(r Record) (time.Duration, []Record) {
+		bestDur := time.Duration(0)
+		var bestTail []Record
+		for _, c := range children[key{r.Writer, r.ID}] {
+			d, tail := chain(c)
+			if d > bestDur {
+				bestDur, bestTail = d, tail
+			}
+		}
+		return r.Dur() + bestDur, append([]Record{r}, bestTail...)
+	}
+	var best []Record
+	bestDur := time.Duration(-1)
+	for _, r := range roots {
+		d, path := chain(r)
+		if d > bestDur {
+			bestDur, best = d, path
+		}
+	}
+	return best
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// mkTask builds a task record for analyzer tests.
+func mkTask(writer string, id, parent uint64, measure string, start, dur time.Duration, hits, sim int64) Record {
+	return Record{
+		Writer: writer, ID: id, Parent: parent, Name: "task",
+		StartUS: start.Microseconds(), DurUS: dur.Microseconds(),
+		Attrs: map[string]any{
+			"measure":    measure,
+			"points":     float64(hits + sim),
+			"cache_hits": float64(hits),
+			"simulated":  float64(sim),
+		},
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Records != 0 || a.Tasks != 0 || len(a.Measures) != 0 || len(a.CriticalPath) != 0 {
+		t.Errorf("empty analysis not empty: %+v", a)
+	}
+}
+
+func TestAnalyzeAggregates(t *testing.T) {
+	var recs []Record
+	// Two workers; w1 runs two 10ms perf tasks back to back, w2 runs one
+	// 20ms robust task overlapping nothing.
+	recs = append(recs,
+		Record{Writer: "w1", ID: 1, Name: "sweep", StartUS: 0, DurUS: 30_000},
+		mkTask("w1", 2, 1, "perf", 0, 10*time.Millisecond, 2, 8),
+		mkTask("w1", 3, 1, "perf", 10*time.Millisecond, 10*time.Millisecond, 10, 0),
+		mkTask("w2", 2, 0, "robust", 0, 20*time.Millisecond, 0, 10),
+		Record{Writer: "w1", ID: 4, Parent: 1, Name: "cache-lookup",
+			Attrs: map[string]any{"outcome": "hit"}},
+		Record{Writer: "w1", ID: 5, Parent: 1, Name: "cache-lookup",
+			Attrs: map[string]any{"outcome": "miss"}},
+	)
+	a := Analyze(recs)
+
+	if a.Tasks != 3 {
+		t.Errorf("tasks = %d, want 3", a.Tasks)
+	}
+	if a.TaskBusy != 40*time.Millisecond {
+		t.Errorf("task busy = %v, want 40ms", a.TaskBusy)
+	}
+	if a.PointsSimulated != 18 || a.PointsCached != 12 {
+		t.Errorf("points sim/cached = %d/%d, want 18/12", a.PointsSimulated, a.PointsCached)
+	}
+	if a.CacheLookups != 2 || a.CacheHits != 1 {
+		t.Errorf("lookups/hits = %d/%d, want 2/1", a.CacheLookups, a.CacheHits)
+	}
+
+	if len(a.Measures) != 2 {
+		t.Fatalf("measures = %d, want 2", len(a.Measures))
+	}
+	perf := a.Measures[0] // sorted by name: perf < robust
+	if perf.Measure != "perf" || perf.Tasks != 2 {
+		t.Fatalf("measure[0] = %+v", perf)
+	}
+	if perf.Min != 10*time.Millisecond || perf.Max != 10*time.Millisecond ||
+		perf.Mean != 10*time.Millisecond {
+		t.Errorf("perf min/mean/max = %v/%v/%v", perf.Min, perf.Mean, perf.Max)
+	}
+	if perf.CacheHits != 12 || perf.Simulated != 8 || perf.Points != 20 {
+		t.Errorf("perf attribution = hits %d sim %d pts %d", perf.CacheHits, perf.Simulated, perf.Points)
+	}
+	nHist := 0
+	for _, c := range perf.Hist {
+		nHist += c
+	}
+	if nHist != 2 {
+		t.Errorf("perf histogram holds %d tasks, want 2", nHist)
+	}
+
+	if len(a.Workers) != 2 {
+		t.Fatalf("workers = %d, want 2", len(a.Workers))
+	}
+	w1 := a.Workers[0]
+	if w1.Writer != "w1" || w1.Tasks != 2 || w1.Busy != 20*time.Millisecond ||
+		w1.Window != 20*time.Millisecond {
+		t.Errorf("w1 = %+v", w1)
+	}
+	if w1.Parallelism < 0.99 || w1.Parallelism > 1.01 {
+		t.Errorf("w1 parallelism = %v, want ~1", w1.Parallelism)
+	}
+	if a.Wall != 20*time.Millisecond {
+		t.Errorf("wall = %v, want 20ms", a.Wall)
+	}
+
+	// Critical path: the w1 sweep (30ms) and its heaviest child chain.
+	if len(a.CriticalPath) != 2 {
+		t.Fatalf("critical path len = %d, want 2: %+v", len(a.CriticalPath), a.CriticalPath)
+	}
+	if a.CriticalPath[0].Name != "sweep" || a.CriticalPath[1].Name != "task" {
+		t.Errorf("critical path = %q → %q", a.CriticalPath[0].Name, a.CriticalPath[1].Name)
+	}
+}
+
+func TestAnalyzeStragglers(t *testing.T) {
+	var recs []Record
+	id := uint64(1)
+	// 15 ordinary 10ms tasks and one 200ms outlier.
+	for i := 0; i < 15; i++ {
+		recs = append(recs, mkTask("w", id, 0, "perf",
+			time.Duration(i)*10*time.Millisecond, 10*time.Millisecond, 0, 1))
+		id++
+	}
+	recs = append(recs, mkTask("w", id, 0, "perf",
+		150*time.Millisecond, 200*time.Millisecond, 0, 1))
+
+	a := Analyze(recs)
+	if len(a.Stragglers) != 1 {
+		t.Fatalf("stragglers = %d, want 1", len(a.Stragglers))
+	}
+	s := a.Stragglers[0]
+	if s.Dur != 200*time.Millisecond || s.Measure != "perf" {
+		t.Errorf("straggler = %+v", s)
+	}
+	if s.Factor < 10 {
+		t.Errorf("straggler factor = %v, want >= 10", s.Factor)
+	}
+	if s.Typical != 10*time.Millisecond {
+		t.Errorf("straggler typical = %v, want 10ms", s.Typical)
+	}
+}
+
+func TestAnalyzeUniformNoStragglers(t *testing.T) {
+	var recs []Record
+	for i := 0; i < 20; i++ {
+		recs = append(recs, mkTask("w", uint64(i+1), 0, "perf",
+			time.Duration(i)*10*time.Millisecond, 10*time.Millisecond, 0, 1))
+	}
+	if a := Analyze(recs); len(a.Stragglers) != 0 {
+		t.Errorf("uniform tasks produced %d stragglers", len(a.Stragglers))
+	}
+}
+
+func TestCriticalPathPerWriter(t *testing.T) {
+	// Same span IDs on two writers must not cross-link.
+	recs := []Record{
+		{Writer: "a", ID: 1, Name: "sweep", DurUS: 1000},
+		{Writer: "a", ID: 2, Parent: 1, Name: "task", DurUS: 900},
+		{Writer: "b", ID: 1, Name: "sweep", DurUS: 5000},
+		{Writer: "b", ID: 2, Parent: 1, Name: "task", DurUS: 100},
+	}
+	path := criticalPath(recs)
+	if len(path) != 2 || path[0].Writer != "b" {
+		t.Fatalf("critical path = %+v, want b's sweep chain", path)
+	}
+}

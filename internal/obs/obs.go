@@ -1,0 +1,482 @@
+// Package obs is the engine-side tracing subsystem: spans with
+// monotonic timestamps, parent IDs and typed attributes, recorded to
+// an append-only JSONL trace journal that lives alongside the job
+// checkpoint and merges across shards and workers the same way result
+// files do. Where internal/gridobs instruments the HTTP surface of the
+// grid, obs instruments the evaluation seams below it — sweep → task →
+// cache-lookup → simulate on the engine path, explore → generation on
+// the explorer path, lease → task → upload on a grid worker — so a
+// slow sweep can finally be attributed: to stragglers, to a cold
+// cache, to one measure's simulation cost, or to an idle worker.
+//
+// The package is dependency-free (stdlib only) and layered strictly
+// below every engine package, so any of them can record into it.
+//
+// Two contracts shape the design:
+//
+//   - Observation never changes results. A recorder hands out spans
+//     and counts events; it takes no part in scheduling, seeding or
+//     value computation. Sweeps traced and untraced are byte-identical
+//     — the trace smoke test pins this with real processes.
+//
+//   - Zero allocations in steady state. Span handles come from a
+//     freelist, attributes live in fixed arrays, and journal lines are
+//     encoded into a reused buffer with strconv appends — no fmt, no
+//     interface boxing. AllocsPerRun pins in alloc_test.go enforce it,
+//     so the PR 5 hot-path guarantees (0 allocs per simulated round)
+//     survive with tracing on. Instrumentation sits at the sweep /
+//     task / point level, never inside simulator round loops.
+//
+// A nil *Recorder is valid everywhere and records nothing, so call
+// sites thread one unconditionally instead of branching.
+package obs
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a span within one recorder's journal. IDs are
+// unique per recorder instance; the merged-timeline identity of a span
+// is (writer, id) plus its start time. 0 is "no span" — a root.
+type SpanID uint64
+
+// maxAttrs bounds the typed attributes one span can carry. Setters
+// past the cap drop silently — a span is a measurement, not a log
+// line, and a fixed array is what keeps recording allocation-free.
+const maxAttrs = 12
+
+const (
+	attrString = iota
+	attrInt
+	attrFloat
+)
+
+type attr struct {
+	key  string
+	kind uint8
+	s    string
+	i    int64
+	f    float64
+}
+
+// Span is an in-flight measurement: created by Recorder.Start (or
+// Interval), annotated with typed attributes, and written to the
+// journal by End. Handles are recycled — a Span must not be touched
+// after End or Drop. All methods are safe on a nil Span.
+type Span struct {
+	r      *Recorder
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Duration // since the recorder epoch (monotonic)
+	dur    time.Duration // fixed duration for Interval spans
+	fixed  bool          // dur is authoritative; End must not re-measure
+	nattr  int
+	attrs  [maxAttrs]attr
+	next   *Span // freelist link
+}
+
+// Stats is a snapshot of a recorder's event counters — the live feed
+// behind dsa-sweep's progress rates and the worker /metrics registry.
+type Stats struct {
+	Spans           uint64 // journal records written (or counted, if memory-only)
+	TasksDone       uint64 // engine tasks completed
+	PointsSimulated uint64 // points actually simulated (cache misses included)
+	PointsCached    uint64 // points served from the score cache
+	CacheHits       uint64 // cache lookup outcomes reported by an instrumented store
+	CacheMisses     uint64
+	CachePuts       uint64
+	UploadRetries   uint64 // grid upload HTTP retries beyond the first attempt
+}
+
+// Recorder records spans and counts events. Open one per writer —
+// a sweep shard ("s0of4") or a grid worker name — so every journal
+// file has a single appender and records carry their origin. A
+// Recorder is safe for concurrent use; a nil Recorder is a no-op.
+type Recorder struct {
+	writer string
+	epoch  time.Time
+
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	w    *bufio.Writer // nil: counting-only recorder
+	f    *os.File
+	free *Span
+	buf  []byte
+	err  error // first write error; surfaced by Close
+
+	spans           atomic.Uint64
+	tasksDone       atomic.Uint64
+	pointsSimulated atomic.Uint64
+	pointsCached    atomic.Uint64
+	cacheHits       atomic.Uint64
+	cacheMisses     atomic.Uint64
+	cachePuts       atomic.Uint64
+	uploadRetries   atomic.Uint64
+}
+
+// NewRecorder returns a memory-only recorder: spans are timed and
+// counted (Stats works) but no journal is written. This is what a
+// plain dsa-sweep runs with so its progress line always has live
+// cache-hit and points/sec rates, journal or not.
+func NewRecorder(writer string) *Recorder {
+	return &Recorder{writer: writer, epoch: time.Now()}
+}
+
+// JournalPattern matches the trace journal files of a directory.
+const JournalPattern = "trace-*.jsonl"
+
+// JournalPath returns the journal path for one writer under dir:
+// trace-<writer>.jsonl, with path-hostile characters mapped away.
+func JournalPath(dir, writer string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, writer)
+	if clean == "" {
+		clean = "writer"
+	}
+	return filepath.Join(dir, "trace-"+clean+".jsonl")
+}
+
+// OpenDir opens (creating dir if needed) a journaling recorder whose
+// records append to JournalPath(dir, writer). Appending is crash-
+// tolerant by the same rule as the checkpoint manifests: a torn final
+// line is skipped on load, never corrupts earlier records, and a
+// resumed run simply keeps appending. Close flushes and syncs.
+func OpenDir(dir, writer string) (*Recorder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return Open(JournalPath(dir, writer), writer)
+}
+
+// Open opens a journaling recorder appending to path.
+func Open(path, writer string) (*Recorder, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRecorder(writer)
+	r.f = f
+	r.w = bufio.NewWriterSize(f, 64<<10)
+	r.buf = make([]byte, 0, 1024)
+	return r, nil
+}
+
+// Writer returns the identity stamped on this recorder's records.
+func (r *Recorder) Writer() string {
+	if r == nil {
+		return ""
+	}
+	return r.writer
+}
+
+// Now returns the monotonic offset since the recorder's epoch — the
+// timebase of every span it records. 0 on a nil recorder.
+func (r *Recorder) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.epoch)
+}
+
+// Start begins a span under parent (0 = root). The span is journalled
+// when End is called on it. Nil recorders return a nil (no-op) span.
+func (r *Recorder) Start(parent SpanID, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := r.get()
+	s.parent = parent
+	s.name = name
+	s.start = time.Since(r.epoch)
+	return s
+}
+
+// Interval records a span whose boundaries the caller measured itself
+// (via Now) — how callback-driven seams like the explorers' generation
+// hooks turn "time between callbacks" into spans. End writes it with
+// exactly the given duration.
+func (r *Recorder) Interval(parent SpanID, name string, start, end time.Duration) *Span {
+	if r == nil {
+		return nil
+	}
+	s := r.get()
+	s.parent = parent
+	s.name = name
+	s.start = start
+	s.dur = max(end-start, 0)
+	s.fixed = true
+	return s
+}
+
+// Event records an instant (zero-duration) occurrence. The returned
+// span still takes attributes; call End to write it.
+func (r *Recorder) Event(parent SpanID, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := r.get()
+	s.parent = parent
+	s.name = name
+	s.start = time.Since(r.epoch)
+	s.fixed = true // dur stays 0
+	return s
+}
+
+// get pops a span handle off the freelist (or allocates the first
+// time through — steady state never does).
+func (r *Recorder) get() *Span {
+	r.mu.Lock()
+	s := r.free
+	if s != nil {
+		r.free = s.next
+	}
+	r.mu.Unlock()
+	if s == nil {
+		s = &Span{}
+	}
+	s.r = r
+	s.id = SpanID(r.nextID.Add(1))
+	s.parent = 0
+	s.dur = 0
+	s.fixed = false
+	s.nattr = 0
+	return s
+}
+
+// ID returns the span's identifier for parenting children; 0 on nil.
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Str attaches a string attribute. Returns s for chaining.
+func (s *Span) Str(key, val string) *Span {
+	if s == nil || s.nattr == maxAttrs {
+		return s
+	}
+	s.attrs[s.nattr] = attr{key: key, kind: attrString, s: val}
+	s.nattr++
+	return s
+}
+
+// Int attaches an integer attribute.
+func (s *Span) Int(key string, val int64) *Span {
+	if s == nil || s.nattr == maxAttrs {
+		return s
+	}
+	s.attrs[s.nattr] = attr{key: key, kind: attrInt, i: val}
+	s.nattr++
+	return s
+}
+
+// Float attaches a float attribute. Non-finite values are journalled
+// as null (JSON has no NaN/Inf) and read back as absent.
+func (s *Span) Float(key string, val float64) *Span {
+	if s == nil || s.nattr == maxAttrs {
+		return s
+	}
+	s.attrs[s.nattr] = attr{key: key, kind: attrFloat, f: val}
+	s.nattr++
+	return s
+}
+
+// End closes the span and appends its record to the journal. The
+// handle is recycled — do not touch s afterwards.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	r := s.r
+	if !s.fixed {
+		s.dur = time.Since(r.epoch) - s.start
+	}
+	r.record(s)
+}
+
+// Drop recycles the span without writing anything — for a measurement
+// abandoned mid-flight (an errored task, a dangling tail interval).
+func (s *Span) Drop() {
+	if s == nil {
+		return
+	}
+	r := s.r
+	r.mu.Lock()
+	s.next = r.free
+	r.free = s
+	r.mu.Unlock()
+}
+
+// record encodes the span into the reused line buffer, appends it to
+// the journal, and recycles the handle — one lock, zero allocations in
+// steady state.
+func (r *Recorder) record(s *Span) {
+	r.spans.Add(1)
+	r.mu.Lock()
+	if r.w != nil {
+		b := r.buf[:0]
+		b = append(b, `{"w":`...)
+		b = appendJSONString(b, r.writer)
+		b = append(b, `,"id":`...)
+		b = appendUint(b, uint64(s.id))
+		if s.parent != 0 {
+			b = append(b, `,"par":`...)
+			b = appendUint(b, uint64(s.parent))
+		}
+		b = append(b, `,"name":`...)
+		b = appendJSONString(b, s.name)
+		b = append(b, `,"start_us":`...)
+		b = appendInt(b, s.start.Microseconds())
+		b = append(b, `,"dur_us":`...)
+		b = appendInt(b, s.dur.Microseconds())
+		if s.nattr > 0 {
+			b = append(b, `,"attrs":{`...)
+			for i := 0; i < s.nattr; i++ {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				a := &s.attrs[i]
+				b = appendJSONString(b, a.key)
+				b = append(b, ':')
+				switch a.kind {
+				case attrString:
+					b = appendJSONString(b, a.s)
+				case attrInt:
+					b = appendInt(b, a.i)
+				case attrFloat:
+					b = appendFloat(b, a.f)
+				}
+			}
+			b = append(b, '}')
+		}
+		b = append(b, '}', '\n')
+		r.buf = b
+		if _, err := r.w.Write(b); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	s.next = r.free
+	r.free = s
+	r.mu.Unlock()
+}
+
+// CacheLookup is the score cache's outcome event: counts the hit or
+// miss and journals an instant "cache-lookup" event. Wired in by
+// cache.Store.SetTracer; allocation-free so it can sit on the lookup
+// path of every point of a sweep.
+func (r *Recorder) CacheLookup(hit bool) {
+	if r == nil {
+		return
+	}
+	outcome := "miss"
+	if hit {
+		r.cacheHits.Add(1)
+		outcome = "hit"
+	} else {
+		r.cacheMisses.Add(1)
+	}
+	r.Event(0, "cache-lookup").Str("outcome", outcome).End()
+}
+
+// CountCachePut counts a score recorded into an instrumented cache.
+func (r *Recorder) CountCachePut() {
+	if r != nil {
+		r.cachePuts.Add(1)
+	}
+}
+
+// CountTask counts completed engine tasks.
+func (r *Recorder) CountTask(n int) {
+	if r != nil && n > 0 {
+		r.tasksDone.Add(uint64(n))
+	}
+}
+
+// CountSimulated counts points whose scores were computed by the
+// domain's ScoreSlice (as opposed to served from a cache).
+func (r *Recorder) CountSimulated(n int) {
+	if r != nil && n > 0 {
+		r.pointsSimulated.Add(uint64(n))
+	}
+}
+
+// CountCached counts points served from the score cache.
+func (r *Recorder) CountCached(n int) {
+	if r != nil && n > 0 {
+		r.pointsCached.Add(uint64(n))
+	}
+}
+
+// CountUploadRetries counts grid upload attempts beyond the first.
+func (r *Recorder) CountUploadRetries(n int) {
+	if r != nil && n > 0 {
+		r.uploadRetries.Add(uint64(n))
+	}
+}
+
+// Stats snapshots the counters. Zero value on a nil recorder.
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	return Stats{
+		Spans:           r.spans.Load(),
+		TasksDone:       r.tasksDone.Load(),
+		PointsSimulated: r.pointsSimulated.Load(),
+		PointsCached:    r.pointsCached.Load(),
+		CacheHits:       r.cacheHits.Load(),
+		CacheMisses:     r.cacheMisses.Load(),
+		CachePuts:       r.cachePuts.Load(),
+		UploadRetries:   r.uploadRetries.Load(),
+	}
+}
+
+// Flush forces buffered records to the journal file (Close does this
+// too; Flush is for long-lived recorders that want bounded loss).
+func (r *Recorder) Flush() error {
+	if r == nil || r.w == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+// Close flushes and syncs the journal and surfaces the first write
+// error. Safe on a nil or memory-only recorder; idempotent.
+func (r *Recorder) Close() error {
+	if r == nil || r.f == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	if err := r.f.Sync(); err != nil && r.err == nil {
+		r.err = err
+	}
+	if err := r.f.Close(); err != nil && r.err == nil {
+		r.err = err
+	}
+	r.f, r.w = nil, nil
+	return r.err
+}

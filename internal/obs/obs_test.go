@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := OpenDir(dir, "s0of2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := rec.Start(0, "sweep").Str("domain", "pra").Int("points", 100)
+	task := rec.Start(root.ID(), "task").
+		Str("measure", "perf").Int("cache_hits", 3).Int("simulated", 7).Float("frac", 0.3)
+	time.Sleep(time.Millisecond)
+	taskID := task.ID()
+	task.End()
+	rec.Event(root.ID(), "cache-lookup").Str("outcome", "hit").End()
+	root.End()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := LoadFile(JournalPath(dir, "s0of2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+		if r.Writer != "s0of2" {
+			t.Errorf("record %q writer = %q, want s0of2", r.Name, r.Writer)
+		}
+	}
+	sweep, ok := byName["sweep"]
+	if !ok {
+		t.Fatal("no sweep record")
+	}
+	if sweep.Parent != 0 {
+		t.Errorf("sweep parent = %d, want 0", sweep.Parent)
+	}
+	if got := sweep.AttrStr("domain"); got != "pra" {
+		t.Errorf("sweep domain = %q", got)
+	}
+	if got := sweep.AttrInt("points"); got != 100 {
+		t.Errorf("sweep points = %d", got)
+	}
+	task2 := byName["task"]
+	if SpanID(task2.ID) != taskID {
+		t.Errorf("task id = %d, want %d", task2.ID, taskID)
+	}
+	if SpanID(task2.Parent) != SpanID(sweep.ID) {
+		t.Errorf("task parent = %d, want %d", task2.Parent, sweep.ID)
+	}
+	if task2.DurUS < 900 {
+		t.Errorf("task dur = %dus, want >= ~1ms", task2.DurUS)
+	}
+	if got := task2.AttrFloat("frac"); got != 0.3 {
+		t.Errorf("task frac = %v", got)
+	}
+	ev := byName["cache-lookup"]
+	if ev.DurUS != 0 {
+		t.Errorf("event dur = %d, want 0", ev.DurUS)
+	}
+	if ev.AttrStr("outcome") != "hit" {
+		t.Errorf("event outcome = %q", ev.AttrStr("outcome"))
+	}
+	// Canonical order: sweep started first.
+	if recs[0].Name != "sweep" {
+		t.Errorf("first record = %q, want sweep", recs[0].Name)
+	}
+}
+
+func TestCountingRecorder(t *testing.T) {
+	rec := NewRecorder("mem")
+	rec.Start(0, "task").End()
+	rec.CountTask(1)
+	rec.CountSimulated(7)
+	rec.CountCached(3)
+	rec.CacheLookup(true)
+	rec.CacheLookup(true)
+	rec.CacheLookup(false)
+	rec.CountCachePut()
+	rec.CountUploadRetries(2)
+	st := rec.Stats()
+	want := Stats{Spans: 4, TasksDone: 1, PointsSimulated: 7, PointsCached: 3,
+		CacheHits: 2, CacheMisses: 1, CachePuts: 1, UploadRetries: 2}
+	if st != want {
+		t.Errorf("stats = %+v, want %+v", st, want)
+	}
+	if err := rec.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var rec *Recorder
+	s := rec.Start(0, "x")
+	s.Str("a", "b").Int("c", 1).Float("d", 2)
+	if s.ID() != 0 {
+		t.Error("nil span id != 0")
+	}
+	s.End()
+	rec.Event(0, "e").End()
+	rec.Interval(0, "i", 0, time.Second).Drop()
+	rec.CacheLookup(true)
+	rec.CountTask(1)
+	rec.CountSimulated(1)
+	rec.CountCached(1)
+	rec.CountCachePut()
+	rec.CountUploadRetries(1)
+	if rec.Stats() != (Stats{}) {
+		t.Error("nil stats not zero")
+	}
+	if rec.Now() != 0 {
+		t.Error("nil Now != 0")
+	}
+	if rec.Writer() != "" {
+		t.Error("nil Writer != empty")
+	}
+	if err := rec.Flush(); err != nil {
+		t.Error(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalAndDrop(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := OpenDir(dir, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Interval(0, "gen", 10*time.Millisecond, 25*time.Millisecond).Int("gen", 3).End()
+	rec.Interval(0, "tail", 25*time.Millisecond, 25*time.Millisecond).Drop() // dangling tail: no record
+	rec.Start(0, "errored").Drop()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1 (dropped spans must not be journalled)", len(recs))
+	}
+	r := recs[0]
+	if r.StartUS != 10_000 || r.DurUS != 15_000 {
+		t.Errorf("interval = start %dus dur %dus, want 10000/15000", r.StartUS, r.DurUS)
+	}
+}
+
+func TestAttrOverflowAndEscaping(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := OpenDir(dir, `we"ird\name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Start(0, "x").Str("q", "a\"b\\c\nd\x01e\xfff")
+	for i := 0; i < 2*maxAttrs; i++ {
+		s.Int(fmt.Sprintf("k%d", i), int64(i)) // past maxAttrs: dropped, not corrupted
+	}
+	s.Float("nan", nanFloat()).End()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Writer != `we"ird\name` {
+		t.Errorf("writer = %q", r.Writer)
+	}
+	if got := r.AttrStr("q"); got != "a\"b\\c\nd\x01e�f" {
+		t.Errorf("escaped attr = %q", got)
+	}
+	if len(r.Attrs) != maxAttrs {
+		t.Errorf("attrs kept = %d, want %d", len(r.Attrs), maxAttrs)
+	}
+}
+
+func nanFloat() float64 { // avoid the math import for one constant
+	var z float64
+	return z / z
+}
+
+func TestTornFinalLineSkipped(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := OpenDir(dir, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start(0, "a").End()
+	rec.Start(0, "b").End()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := JournalPath(dir, "w")
+
+	// Simulate a crash mid-append: a final line cut off partway.
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(whole, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("expected 2 full lines, got %q", whole)
+	}
+	torn := append(append([]byte{}, whole...), lines[0][:len(lines[0])/2]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records after torn tail, want 2", len(recs))
+	}
+	for i, want := range []string{"a", "b"} {
+		if recs[i].Name != want {
+			t.Errorf("record %d = %q, want %q", i, recs[i].Name, want)
+		}
+	}
+
+	// A journal that is nothing but garbage loads as empty, not error.
+	garbled := filepath.Join(dir, "trace-garbled.jsonl")
+	if err := os.WriteFile(garbled, []byte("{half a rec"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = LoadFile(garbled)
+	if err != nil || len(recs) != 0 {
+		t.Errorf("garbled journal: recs=%d err=%v, want 0/nil", len(recs), err)
+	}
+}
+
+func TestMergeOrderIndependent(t *testing.T) {
+	dir := t.TempDir()
+	for i, name := range []string{"s0of2", "s1of2"} {
+		rec, err := OpenDir(dir, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 5; j++ {
+			rec.Interval(0, "task", time.Duration(j)*time.Millisecond,
+				time.Duration(j+1)*time.Millisecond).
+				Int("shard", int64(i)).End()
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := JournalPath(dir, "s0of2")
+	b := JournalPath(dir, "s1of2")
+
+	var ab, ba bytes.Buffer
+	nab, err := Merge(&ab, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nba, err := Merge(&ba, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nab != 10 || nba != 10 {
+		t.Fatalf("merged %d / %d records, want 10", nab, nba)
+	}
+	if !bytes.Equal(ab.Bytes(), ba.Bytes()) {
+		t.Fatal("merge output depends on argument order")
+	}
+	// Ordered by start time, ties broken by writer.
+	recs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].StartUS < recs[i-1].StartUS {
+			t.Fatalf("record %d out of order", i)
+		}
+		if recs[i].StartUS == recs[i-1].StartUS && recs[i].Writer < recs[i-1].Writer {
+			t.Fatalf("record %d writer tie-break out of order", i)
+		}
+	}
+}
+
+func TestJournalPathSanitizes(t *testing.T) {
+	got := JournalPath("d", "a/b:c 1")
+	if got != filepath.Join("d", "trace-a_b_c_1.jsonl") {
+		t.Errorf("JournalPath = %q", got)
+	}
+	if got := JournalPath("d", "///"); got != filepath.Join("d", "trace-___.jsonl") {
+		t.Errorf("JournalPath slashes = %q", got)
+	}
+	if got := JournalPath("d", ""); !strings.Contains(got, "trace-writer.jsonl") {
+		t.Errorf("JournalPath empty = %q", got)
+	}
+}
+
+func TestResumeAppends(t *testing.T) {
+	dir := t.TempDir()
+	for run := 0; run < 2; run++ {
+		rec, err := OpenDir(dir, "w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Start(0, "task").Int("run", int64(run)).End()
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("resumed journal has %d records, want 2", len(recs))
+	}
+}

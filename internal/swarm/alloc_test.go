@@ -13,6 +13,8 @@ package swarm
 
 import (
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestTransferLoopAllocFree pins the per-second steady state —
@@ -42,6 +44,48 @@ func TestTransferLoopAllocFree(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(300, tick); avg != 0 {
 		t.Errorf("transfer loop allocates %v objects/second in steady state, want 0", avg)
+	}
+	if s.remaining == 0 {
+		t.Fatal("swarm finished during measurement; enlarge the file so the steady state is real")
+	}
+}
+
+// TestTransferLoopAllocFreeWithRecorder pins the observability
+// contract at the swarm simulator's hot path: the per-second steady
+// state stays at 0 allocations with a journaling obs recorder live —
+// even journaling a span every simulated second (far finer than
+// production, which records at the task level). Tracing a sweep
+// cannot regress the PR 5 hot-path guarantees.
+func TestTransferLoopAllocFreeWithRecorder(t *testing.T) {
+	rec, err := obs.OpenDir(t.TempDir(), "alloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	cfg := Default()
+	cfg.FileKiB = 64 * 1024
+	cfg.PieceKiB = 128
+	clients := make([]Client, 30)
+	for i := range clients {
+		clients[i] = Client(i % int(numClients))
+	}
+	s := newState(clients, cfg)
+	sec := 0
+	tick := func() {
+		sp := rec.Start(0, "second").Int("sec", int64(sec))
+		if sec%cfg.ChokeIntervalS == 0 {
+			s.rechoke(sec / cfg.ChokeIntervalS)
+		}
+		s.transfer(sec)
+		sp.End()
+		sec++
+	}
+	for sec < 60 { // steady state for swarm and recorder both
+		tick()
+	}
+	if avg := testing.AllocsPerRun(300, tick); avg != 0 {
+		t.Errorf("transfer loop with live recorder allocates %v objects/second, want 0", avg)
 	}
 	if s.remaining == 0 {
 		t.Fatal("swarm finished during measurement; enlarge the file so the steady state is real")

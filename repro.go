@@ -28,6 +28,10 @@
 //   - internal/grid      — the HTTP coordinator/worker grid: a sweep
 //     served as leased tasks to workers on any machines, survivable
 //     under worker failure (see ServeGrid / GridSweep).
+//   - internal/obs       — the tracing subsystem: span journals
+//     (append-only JSONL, one per writer, crash-tolerant and
+//     mergeable across shards and workers) and the analyzer behind
+//     `dsa-report trace` (see OpenTraceJournal / AnalyzeTrace).
 //   - internal/swarm     — the piece-level BitTorrent swarm simulator
 //     used for validation (Section 5).
 //   - internal/gossip    — DSA applied to the gossip domain
@@ -56,6 +60,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/grid"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/pra"
 	"repro/internal/swarm"
 
@@ -304,6 +309,45 @@ func GridSweep(ctx context.Context, coordinatorURL string, workers int) (*Domain
 		return nil, err
 	}
 	return grid.FetchScores(ctx, nil, coordinatorURL, id)
+}
+
+// TraceRecorder journals spans and counts engine events — plug one
+// into SweepOptions.Trace (or grid.WorkerOptions.Trace) and every
+// task, cache lookup and simulate slice lands in an append-only JSONL
+// journal that `dsa-report trace` analyzes. Steady-state recording is
+// allocation-free; a nil *TraceRecorder is a valid no-op everywhere.
+type TraceRecorder = obs.Recorder
+
+// TraceStats is the recorder's live counter snapshot (tasks done,
+// points simulated vs cache-served, upload retries).
+type TraceStats = obs.Stats
+
+// TraceAnalysis is the digest AnalyzeTrace produces: critical path,
+// per-measure latency, stragglers, cache attribution and per-worker
+// utilization.
+type TraceAnalysis = obs.Analysis
+
+// OpenTraceJournal opens (creating dir if needed) an append-only span
+// journal trace-<writer>.jsonl for one writer — a sweep shard or a
+// grid worker. Journals from any number of writers sharing a directory
+// merge cleanly; re-opening appends, and a torn final line from a
+// crashed writer is skipped on load.
+func OpenTraceJournal(dir, writer string) (*TraceRecorder, error) {
+	return obs.OpenDir(dir, writer)
+}
+
+// NewTraceRecorder returns a memory-only recorder: spans are counted,
+// not journalled. Use it when only the live Stats matter.
+func NewTraceRecorder(writer string) *TraceRecorder { return obs.NewRecorder(writer) }
+
+// AnalyzeTrace loads every journal in dir and digests the merged
+// timeline.
+func AnalyzeTrace(dir string) (*TraceAnalysis, error) {
+	recs, err := obs.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return obs.Analyze(recs), nil
 }
 
 // DefaultSwarm returns the Section 5 swarm setup (5 MiB file, 128 KiB/s

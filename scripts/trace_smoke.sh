@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Tracing smoke test with real processes: a 1-coordinator + 2-worker
+# localhost grid runs a gossip sweep with both workers journalling
+# spans into a shared -trace-dir and one worker serving live counters
+# on -metrics-addr. Asserts the traced run's CSV is byte-identical to
+# an untraced single-process sweep, the mid-sweep /metrics scrape shows
+# non-zero worker counters, both journals exist and merge, and
+# `dsa-report trace` digests them with exit code 0. A final bench pair
+# pins the tracing overhead on the task execution path under 5%.
+# Run from the repo root; CI runs it on every push.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+bin="$workdir/bin"
+mkdir -p "$bin"
+cleanup() {
+  kill -9 "${coord_pid:-}" "${w1_pid:-}" "${w2_pid:-}" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building dsa-grid, dsa-sweep and dsa-report"
+go build -o "$bin/dsa-grid" ./cmd/dsa-grid
+go build -o "$bin/dsa-sweep" ./cmd/dsa-sweep
+go build -o "$bin/dsa-report" ./cmd/dsa-report
+
+# Same shape as grid_smoke: 36 gossip points, chunk 1 => 72 tasks,
+# sims sized so the grid run lasts long enough to scrape mid-sweep.
+sweep_flags=(-domain gossip -stride 6 -peers 16 -rounds 800 -perfruns 3
+             -encruns 1 -opponents 8 -seed 11 -chunk 1)
+addr="127.0.0.1:18439"
+url="http://$addr"
+metrics_addr="127.0.0.1:18440"
+metrics_url="http://$metrics_addr/metrics"
+trace_dir="$workdir/trace"
+
+echo "== untraced single-process reference sweep"
+"$bin/dsa-sweep" "${sweep_flags[@]}" -preset quick -out "$workdir/reference.csv"
+
+echo "== starting coordinator"
+"$bin/dsa-grid" serve -addr "$addr" "${sweep_flags[@]}" -preset quick \
+  -checkpoint-dir "$workdir/ckpt" -once -out "$workdir/grid.csv" \
+  >"$workdir/coordinator.log" 2>&1 &
+coord_pid=$!
+for _ in $(seq 1 50); do
+  curl -sf "$url/v1/jobs" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "$url/v1/jobs" >/dev/null
+
+echo "== starting 2 traced workers (one serving /metrics)"
+"$bin/dsa-grid" work -coordinator "$url" -name tracer1 -workers 1 -tasks-per-lease 2 \
+  -trace-dir "$trace_dir" -metrics-addr "$metrics_addr" \
+  >"$workdir/worker1.log" 2>&1 &
+w1_pid=$!
+"$bin/dsa-grid" work -coordinator "$url" -name tracer2 -workers 1 -tasks-per-lease 2 \
+  -trace-dir "$trace_dir" \
+  >"$workdir/worker2.log" 2>&1 &
+w2_pid=$!
+
+echo "== scraping worker /metrics mid-sweep"
+scraped=""
+for _ in $(seq 1 200); do
+  if curl -sf "$metrics_url" >"$workdir/metrics.txt" 2>/dev/null &&
+     grep -Eq '^worker_tasks_total [0-9]*[1-9]' "$workdir/metrics.txt"; then
+    scraped=yes
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$scraped" ]; then
+  echo "never saw a non-zero worker_tasks_total on $metrics_url" >&2
+  cat "$workdir/metrics.txt" 2>/dev/null >&2 || true
+  exit 1
+fi
+# The sweep must still be running — this is a genuinely mid-sweep scrape.
+kill -0 "$coord_pid" || { echo "sweep finished before the scrape" >&2; exit 1; }
+for metric in worker_tasks_total worker_lease_requests_total worker_uploads_total \
+              worker_points_simulated_total; do
+  if ! grep -Eq "^$metric [0-9]*[1-9]" "$workdir/metrics.txt"; then
+    echo "mid-sweep worker /metrics has no non-zero $metric" >&2
+    grep "^$metric" "$workdir/metrics.txt" >&2 || true
+    exit 1
+  fi
+done
+grep -q '^worker_task_seconds_count{measure=' "$workdir/metrics.txt" || {
+  echo "mid-sweep worker /metrics missing per-measure latency histogram" >&2; exit 1; }
+echo "scraped: $(grep '^worker_tasks_total ' "$workdir/metrics.txt")"
+
+echo "== waiting for the grid sweep to finish"
+wait "$w1_pid"
+wait "$w2_pid"
+wait "$coord_pid"
+
+echo "== traced grid CSV must be byte-identical to the untraced reference"
+cmp "$workdir/reference.csv" "$workdir/grid.csv"
+
+echo "== both workers must have journalled spans"
+for w in tracer1 tracer2; do
+  [ -s "$trace_dir/trace-$w.jsonl" ] || {
+    echo "missing or empty journal trace-$w.jsonl" >&2; ls -la "$trace_dir" >&2 || true; exit 1; }
+done
+
+echo "== dsa-report trace must digest the merged journals"
+"$bin/dsa-report" trace "$trace_dir" >"$workdir/trace_report.txt"
+for want in "Trace: " "Per-measure task latency" "Per-worker utilization" \
+            "tracer1" "tracer2" "Critical path"; do
+  grep -q "$want" "$workdir/trace_report.txt" || {
+    echo "trace report missing \"$want\":" >&2
+    cat "$workdir/trace_report.txt" >&2
+    exit 1
+  }
+done
+# 72 tasks ran somewhere (the split between workers is arbitrary).
+grep -Eq '^tasks +72' "$workdir/trace_report.txt" || {
+  echo "trace report does not account for all 72 tasks" >&2
+  cat "$workdir/trace_report.txt" >&2
+  exit 1
+}
+
+echo "== tracing overhead on the task execution path must stay under 5%"
+go test -run '^$' -bench 'BenchmarkExecTasks(Traced)?$' -benchtime 3x -count 3 \
+  ./internal/job/ | tee "$workdir/bench.txt"
+python3 - "$workdir/bench.txt" <<'EOF'
+import re, sys
+best = {}
+for line in open(sys.argv[1]):
+    m = re.match(r'(BenchmarkExecTasks(?:Traced)?)-?\S*\s+\d+\s+([\d.]+) ns/op', line)
+    if m:
+        name, ns = m.group(1), float(m.group(2))
+        best[name] = min(best.get(name, float('inf')), ns)
+plain = best.get('BenchmarkExecTasks')
+traced = best.get('BenchmarkExecTasksTraced')
+if not plain or not traced:
+    sys.exit('bench output missing the ExecTasks pair: %r' % best)
+ratio = traced / plain
+print('min-of-3: untraced %.1fms, traced %.1fms, ratio %.3f' %
+      (plain / 1e6, traced / 1e6, ratio))
+if ratio > 1.05:
+    sys.exit('tracing overhead %.1f%% exceeds the 5%% budget' % ((ratio - 1) * 100))
+EOF
+
+echo "OK: byte-identical CSVs, live mid-sweep worker metrics, merged journals analyzed, overhead within budget"

@@ -14,10 +14,12 @@
 //	               [-checkpoint-dir DIR] [-cache-dir DIR] [-lease-ttl 30s]
 //	               [-out results.csv] [-once] [-priority N]
 //	               [-auth-token SECRET] [-rate-limit N] [-rate-burst N]
+//	               [-pprof]
 //
 //	dsa-grid work  -coordinator http://host:8437 [-job ID] [-name ID]
 //	               [-workers N] [-tasks-per-lease N] [-cache-dir DIR]
 //	               [-auth-token SECRET] [-trace-dir DIR] [-metrics-addr :9090]
+//	               [-ship-traces] [-ship-interval 2s] [-pprof]
 //	               [-cpuprofile FILE] [-memprofile FILE]
 //
 // serve registers the sweep (the sweep-shaping flags mirror dsa-sweep)
@@ -60,8 +62,15 @@
 // each carrying the request ID the coordinator logs) into DIR, where
 // `dsa-report trace DIR` merges it with other workers' journals.
 // -metrics-addr serves GET /metrics (Prometheus text) with live task /
-// point / lease / upload-retry counters. Point a report at the grid
-// with:
+// point / lease / upload-retry counters. -ship-traces streams the
+// journal to the coordinator (chunked, offset-resumed POST /v1/trace
+// every -ship-interval, with a final flush on exit), so the
+// coordinator's GET /v1/trace, dashboard timeline and federated
+// /metrics see the whole fleet without anyone hand-collecting files —
+// then `dsa-report trace http://host:8437` analyzes the collected set.
+// -pprof mounts /debug/pprof/ on the -metrics-addr mux (worker) or the
+// API mux (serve), gated behind -auth-token when one is set. Point a
+// report at the grid with:
 //
 //	dsa-report -domain D -coordinator http://host:8437 top
 package main
@@ -136,6 +145,7 @@ func runServe(sigCtx context.Context, args []string) {
 		rateLimit = fs.Float64("rate-limit", 0, "per-client requests/second against the /v1 API (0 = unlimited)")
 		rateBurst = fs.Float64("rate-burst", 0, "rate-limit burst capacity (0 = one second of traffic)")
 		priority  = fs.Int("priority", 1, "fair-share weight of this job against other jobs on the coordinator")
+		pprofOn   = fs.Bool("pprof", false, "mount /debug/pprof/ on the API mux (auth-gated when -auth-token is set)")
 	)
 	fs.Parse(args)
 	if *stride < 1 {
@@ -164,6 +174,7 @@ func runServe(sigCtx context.Context, args []string) {
 	coordOpts := grid.CoordinatorOptions{
 		Dir: *ckptDir, LeaseTTL: *leaseTTL, Logf: log.Printf, CSV: exp.WriteDomainCSV,
 		AuthToken: *authToken, RateLimit: *rateLimit, RateBurst: *rateBurst,
+		Pprof: *pprofOn,
 	}
 	if *cacheDir != "" {
 		store, err := cache.Open(cache.Options{Dir: *cacheDir})
@@ -295,12 +306,21 @@ func runWork(ctx context.Context, args []string) {
 		authToken   = fs.String("auth-token", "", "shared secret the coordinator requires (serve -auth-token)")
 		traceDir    = fs.String("trace-dir", "", "append this worker's span journal (trace-<name>.jsonl) into DIR")
 		metricsAddr = fs.String("metrics-addr", "", "serve worker Prometheus counters on this address at GET /metrics")
+		shipTraces  = fs.Bool("ship-traces", false, "stream the span journal to the coordinator (needs -trace-dir)")
+		shipEvery   = fs.Duration("ship-interval", grid.DefaultShipInterval, "incremental trace shipping cadence")
+		pprofOn     = fs.Bool("pprof", false, "mount /debug/pprof/ on the -metrics-addr mux (auth-gated when -auth-token is set)")
 		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of this worker to this file")
 		memProf     = fs.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on completion")
 	)
 	fs.Parse(args)
 	if *coordinator == "" {
 		log.Fatal("work needs -coordinator URL")
+	}
+	if *shipTraces && *traceDir == "" {
+		log.Fatal("-ship-traces needs -trace-dir (the journal being shipped)")
+	}
+	if *pprofOn && *metricsAddr == "" {
+		log.Fatal("-pprof needs -metrics-addr (the mux it mounts on)")
 	}
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -339,6 +359,11 @@ func runWork(ctx context.Context, args []string) {
 		defer ln.Close()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
+		if *pprofOn {
+			mux.Handle("/debug/pprof/", profiling.Handler(*authToken))
+			log.Printf("serving /debug/pprof/ on %s (auth %s)", ln.Addr(),
+				map[bool]string{true: "on", false: "off"}[*authToken != ""])
+		}
 		go http.Serve(ln, mux) //nolint:errcheck — dies with the process
 		log.Printf("serving /metrics on %s", ln.Addr())
 	}
@@ -351,18 +376,45 @@ func runWork(ctx context.Context, args []string) {
 		store.SetTracer(workOpts.Trace)
 		workOpts.Cache = store
 	}
+	var shipper *grid.TraceShipper
+	if *shipTraces {
+		shipper = grid.NewTraceShipper(*coordinator, workOpts.Trace,
+			obs.JournalPath(*traceDir, *name), grid.TraceShipperOptions{
+				Job: *jobID, AuthToken: *authToken, Metrics: workOpts.Metrics,
+				Interval: *shipEvery, Logf: log.Printf,
+			})
+		go shipper.Run(ctx)
+		log.Printf("shipping trace to %s every %s", *coordinator, *shipEvery)
+	}
+	// finalShip drains whatever the incremental loop has not sent yet
+	// (on its own context — the worker's may already be cancelled).
+	// Called after Trace.Close on the fatal paths: Ship reads the
+	// journal file and Flush on a closed recorder is a no-op.
+	finalShip := func() {
+		if shipper == nil {
+			return
+		}
+		shipCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := shipper.Ship(shipCtx); err != nil {
+			log.Printf("final trace ship: %v", err)
+		}
+	}
 	err = grid.Work(ctx, *coordinator, *jobID, workOpts)
 	switch {
 	case err == nil:
+		finalShip()
 		log.Printf("job complete")
 	case ctx.Err() != nil:
 		// log.Fatal skips defers: flush the journal and profiles so an
 		// interrupted worker still leaves usable artifacts.
 		workOpts.Trace.Close()
+		finalShip()
 		stopProf()
 		log.Fatal("interrupted; held leases will expire and re-queue")
 	default:
 		workOpts.Trace.Close() // likewise a worker dying on a grid error
+		finalShip()
 		stopProf()
 		log.Fatal(err)
 	}

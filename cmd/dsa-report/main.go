@@ -16,7 +16,7 @@
 //	dsa-report -domain gossip|delivery -checkpoint DIR -out results.csv merge
 //	dsa-report -cache-dir DIR cache
 //	dsa-report -coordinator http://host:8437 cache
-//	dsa-report trace DIR
+//	dsa-report trace DIR|URL [-job ID] [-merged out.jsonl]
 //
 // -checkpoint reads the scores straight out of a dsa-sweep checkpoint
 // directory (the merged manifests of one or more shard processes)
@@ -43,6 +43,11 @@
 // task latency with histograms, straggler tasks, cache-hit attribution
 // and per-worker utilization. Journals are crash-tolerant: a torn
 // final line (the writer died mid-append) is skipped, not fatal.
+// Given a coordinator URL (http:// or https://) instead of a
+// directory, the report fetches the journals the coordinator collected
+// from trace-shipping workers (GET /v1/trace) and renders the same
+// analysis — no copying. -job narrows it to one job's trace; -merged
+// additionally writes the canonically merged journal to a file.
 //
 // -cpuprofile / -memprofile write pprof profiles of the report itself —
 // the sim-backed reports (validate, churn) run real sweeps, and trace
@@ -85,6 +90,7 @@ func main() {
 		cacheD  = flag.String("cache-dir", "", "score cache directory (cache report)")
 		jobID   = flag.String("job", "", "coordinator job ID (default: the first job of -domain)")
 		out     = flag.String("out", "results.csv", "output CSV path (merge)")
+		merged  = flag.String("merged", "", "also write the canonically merged journal (JSONL) to this path (trace report)")
 		preset  = flag.String("preset", "quick", "quick or paper (validate/churn)")
 		stride  = flag.Int("stride", 30, "protocol stride for validate/churn")
 		seed    = flag.Int64("seed", 1, "master seed for validate/churn")
@@ -104,9 +110,9 @@ func main() {
 
 	if what == "trace" {
 		if flag.NArg() != 2 {
-			log.Fatal("usage: dsa-report trace DIR (a -trace-dir holding trace-*.jsonl journals)")
+			log.Fatal("usage: dsa-report trace DIR|URL (a -trace-dir holding trace-*.jsonl journals, or a coordinator URL collecting shipped traces)")
 		}
-		runTrace(flag.Arg(1))
+		runTrace(flag.Arg(1), *jobID, *merged)
 		return
 	}
 	if flag.NArg() != 1 {

@@ -1,11 +1,14 @@
 package main
 
 // The trace report: merge every trace-*.jsonl journal in a directory
-// onto one timeline and render where the sweep's time went — critical
-// path, per-measure latency (with an inline histogram), stragglers,
-// cache-hit attribution and per-worker utilization.
+// (or the journals a coordinator collected from trace-shipping
+// workers) onto one timeline and render where the sweep's time went —
+// critical path, per-measure latency (with an inline histogram),
+// stragglers, cache-hit attribution and per-worker utilization.
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -13,19 +16,84 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/grid"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
 
-// runTrace loads every journal under dir and renders the analysis.
-func runTrace(dir string) {
-	recs, err := obs.LoadDir(dir)
+// runTrace loads every journal under src — a local directory or a
+// coordinator URL — and renders the analysis. Both paths feed the
+// same renderTrace over the same canonical merge order, so the report
+// from a coordinator's collected journals is byte-identical to one
+// run over the workers' own -trace-dir. With a non-empty mergedPath
+// the canonically merged journal is also written there as JSONL.
+func runTrace(src, jobID, mergedPath string) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		runTraceRemote(src, jobID, mergedPath)
+		return
+	}
+	recs, err := obs.LoadDir(src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	files, _ := obs.JournalFiles(dir)
+	files, _ := obs.JournalFiles(src)
+	if mergedPath != "" {
+		writeMerged(mergedPath, func(w io.Writer) error {
+			_, err := obs.Merge(w, files...)
+			return err
+		})
+	}
 	a := obs.Analyze(recs)
 	if err := renderTrace(os.Stdout, a, len(files)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runTraceRemote fetches the merged journal a coordinator collected
+// (GET /v1/trace) plus its digest for the journal count, and renders
+// the same report as the directory mode.
+func runTraceRemote(baseURL, jobID, mergedPath string) {
+	ctx := context.Background()
+	digest, err := grid.FetchTraceDigest(ctx, nil, baseURL, jobID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := grid.FetchTrace(ctx, nil, baseURL, jobID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if mergedPath != "" {
+		writeMerged(mergedPath, func(w io.Writer) error {
+			_, err := w.Write(raw)
+			return err
+		})
+	}
+	recs, err := obs.LoadReader(bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(recs) == 0 {
+		log.Fatalf("coordinator %s has collected no trace spans (start workers with -ship-traces)", baseURL)
+	}
+	a := obs.Analyze(recs)
+	if err := renderTrace(os.Stdout, a, digest.Journals); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeMerged writes the merged journal to path via fill, failing
+// loudly — a truncated merged file would silently skew any downstream
+// comparison.
+func writeMerged(path string, fill func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 }

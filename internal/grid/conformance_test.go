@@ -114,6 +114,17 @@ func TestHTTPConformance(t *testing.T) {
 		{name: "drain without auth", method: "POST", path: "/v1/drain", auth: noAuth, wantStatus: 401, wantErrMsg: true},
 		{name: "drain with bad auth", method: "POST", path: "/v1/drain", auth: badAuth, wantStatus: 401, wantErrMsg: true},
 		{name: "drain wrong method", method: "GET", path: "/v1/drain", wantStatus: 405, wantErrMsg: true},
+		{name: "trace upload without auth", method: "POST", path: "/v1/trace", auth: noAuth, body: `{"writer":"w"}`, wantStatus: 401, wantErrMsg: true},
+		{name: "trace upload bad auth", method: "POST", path: "/v1/trace", auth: badAuth, body: `{"writer":"w"}`, wantStatus: 401, wantErrMsg: true},
+		{name: "trace upload malformed json", method: "POST", path: "/v1/trace", auth: good, body: `{`, wantStatus: 400, wantErrMsg: true},
+		{name: "trace upload no writer", method: "POST", path: "/v1/trace", auth: good, body: `{"offset":0}`, wantStatus: 400, wantErrMsg: true},
+		{name: "trace upload negative offset", method: "POST", path: "/v1/trace", auth: good, body: `{"writer":"w","offset":-1}`, wantStatus: 400, wantErrMsg: true},
+		{name: "trace upload unknown job", method: "POST", path: "/v1/trace", auth: good, body: `{"writer":"w","job":"no-such-job"}`, wantStatus: 404, wantErrMsg: true},
+		{name: "trace upload probe", method: "POST", path: "/v1/trace", auth: good, body: `{"writer":"w","offset":0}`, wantStatus: 200},
+		{name: "trace wrong method", method: "DELETE", path: "/v1/trace", wantStatus: 405, wantErrMsg: true},
+		{name: "trace timeline", method: "GET", path: "/v1/trace", wantStatus: 200, wantCT: "application/x-ndjson"},
+		{name: "trace digest", method: "GET", path: "/v1/trace?format=digest", wantStatus: 200},
+		{name: "trace unknown job", method: "GET", path: "/v1/trace?job=no-such-job", wantStatus: 404, wantErrMsg: true},
 		{name: "metrics", method: "GET", path: "/metrics", wantStatus: 200, wantCT: "text/plain"},
 		{name: "metrics wrong method", method: "POST", path: "/metrics", wantStatus: 405, wantErrMsg: true},
 		{name: "dashboard", method: "GET", path: "/v1/dashboard", wantStatus: 200, wantCT: "text/html"},
@@ -185,15 +196,17 @@ func TestOversizedBodyRejected(t *testing.T) {
 	srv := httptest.NewServer(coord.Handler())
 	defer srv.Close()
 
-	resp := doRaw(t, "POST", srv.URL+"/v1/jobs", "", `{"spec":"`+strings.Repeat("x", 4096)+`"}`)
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Fatalf("status %d, want 413 (body %q)", resp.StatusCode, raw)
-	}
-	var eb errorBody
-	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
-		t.Fatalf("413 body not structured JSON: %q", raw)
+	for _, path := range []string{"/v1/jobs", "/v1/trace"} {
+		resp := doRaw(t, "POST", srv.URL+path, "", `{"spec":"`+strings.Repeat("x", 4096)+`"}`)
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s: status %d, want 413 (body %q)", path, resp.StatusCode, raw)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
+			t.Fatalf("POST %s: 413 body not structured JSON: %q", path, raw)
+		}
 	}
 }
 
@@ -237,6 +250,14 @@ func TestRateLimitExhaustion(t *testing.T) {
 	raw, _ := io.ReadAll(resp.Body)
 	if !strings.Contains(string(raw), "grid_ratelimited_total") {
 		t.Fatal("metrics missing grid_ratelimited_total")
+	}
+
+	// So must trace shipping: a worker draining under overload would
+	// otherwise lose its final journal flush to a 429.
+	traceResp := doRaw(t, "POST", srv.URL+"/v1/trace", "", `{"writer":"w","offset":0}`)
+	defer traceResp.Body.Close()
+	if traceResp.StatusCode != 200 {
+		t.Fatalf("POST /v1/trace rate-limited after exhaustion: status %d", traceResp.StatusCode)
 	}
 }
 

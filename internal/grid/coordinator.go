@@ -22,6 +22,7 @@ import (
 	"repro/internal/dsa"
 	"repro/internal/gridobs"
 	"repro/internal/job"
+	"repro/internal/profiling"
 )
 
 // Defaults for CoordinatorOptions zero values.
@@ -38,7 +39,10 @@ type CoordinatorOptions struct {
 	// Dir is the checkpoint root; each job journals into Dir/<job-id>
 	// in the internal/job checkpoint format, so a restarted
 	// coordinator resumes where it left off and job.Load/dsa-report
-	// read the directory directly. "" keeps results in memory only.
+	// read the directory directly. Shipped worker traces are collected
+	// under Dir/<job-id>/trace/ in the internal/obs journal format.
+	// "" keeps results in memory only (collected traces then live in a
+	// temp dir removed on Close).
 	Dir string
 	// LeaseTTL is how long a lease lives without a heartbeat before
 	// its task is re-queued. 0 = DefaultLeaseTTL.
@@ -79,6 +83,10 @@ type CoordinatorOptions struct {
 	// MaxBody caps request body bytes; oversized bodies are rejected
 	// with 413 before any decoding. 0 = DefaultMaxBody.
 	MaxBody int64
+	// Pprof, when set, mounts net/http/pprof under /debug/pprof/ on
+	// the coordinator mux, behind the same bearer auth as the write
+	// endpoints when AuthToken is set.
+	Pprof bool
 }
 
 func (o CoordinatorOptions) leaseTTL() time.Duration {
@@ -113,6 +121,7 @@ type Coordinator struct {
 	started time.Time
 	metrics *gridMetrics
 	limiter *gridobs.Limiter
+	traces  *traceCollector // collected worker journals + federated snapshots
 
 	mu      sync.Mutex
 	jobs    map[string]*gridJob
@@ -192,6 +201,7 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 		drainDone:  make(chan struct{}),
 	}
 	c.limiter = gridobs.NewLimiter(opts.RateLimit, opts.RateBurst)
+	c.traces = newTraceCollector(opts.Dir, opts.Logf)
 	c.metrics = newGridMetrics(c)
 	return c
 }
@@ -465,6 +475,9 @@ func (c *Coordinator) Close() error {
 			}
 			j.cp = nil
 		}
+	}
+	if err := c.traces.Close(); err != nil && first == nil {
+		first = err
 	}
 	return first
 }
@@ -981,8 +994,14 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/progress", c.handleProgress)
 	mux.HandleFunc("GET /v1/cache", c.handleCacheStats)
 	mux.HandleFunc("POST /v1/drain", c.authed(c.handleDrain))
+	mux.HandleFunc("POST /v1/trace", c.authed(c.handleTraceUpload))
+	mux.HandleFunc("GET /v1/trace", c.handleTraceGet)
 	mux.HandleFunc("GET /v1/dashboard", c.handleDashboard)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	if c.opts.Pprof {
+		pp := profiling.Handler("") // coordinator auth wraps it instead
+		mux.Handle("/debug/pprof/", c.authed(pp.ServeHTTP))
+	}
 	return gridobs.Instrument(c.rateLimited(jsonErrors(mux)), c.onRequestDone)
 }
 
@@ -1024,6 +1043,14 @@ func (c *Coordinator) rateLimited(next http.Handler) http.Handler {
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		// Trace shipping is exempt like /metrics: throttling the
+		// observability plane during an overload would blind exactly
+		// the tools needed to diagnose it, and a 429'd chunk just
+		// re-ships later anyway (idempotent offsets).
+		if r.URL.Path == "/v1/trace" {
 			next.ServeHTTP(w, r)
 			return
 		}

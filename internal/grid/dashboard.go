@@ -27,6 +27,39 @@ type dashboardData struct {
 	HitRatio  string
 	AuthOn    bool
 	RateLimit float64
+	Traces    []dashboardTrace
+}
+
+// dashboardTrace is one collected-trace scope's timeline panel: the
+// fleet-wide digest GET /v1/trace?format=digest serves, trimmed for
+// the page.
+type dashboardTrace struct {
+	Scope      string // job ID, or "fleet" for unscoped journals
+	Journals   int
+	Records    int
+	Tasks      int
+	Wall       string
+	Busy       string
+	Workers    []dashboardTraceWorker
+	Stragglers []dashboardTraceStraggler
+}
+
+type dashboardTraceWorker struct {
+	Name        string
+	Tasks       int
+	Busy        string
+	Window      string
+	Coverage    float64 // window as % of the scope's wall clock
+	Parallelism string
+}
+
+type dashboardTraceStraggler struct {
+	Worker  string
+	Task    string
+	Measure string
+	Dur     string
+	Typical string
+	Factor  string
 }
 
 type dashboardJob struct {
@@ -126,10 +159,65 @@ func (c *Coordinator) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Unlock()
 
+	// Trace panels read collected journal files (memoised by collected
+	// bytes), so they are built outside c.mu.
+	data.Traces = c.traceDashboard()
+
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := dashboardTmpl.Execute(w, data); err != nil {
 		c.logfCtx(r.Context(), "grid: dashboard render: %v", err)
 	}
+}
+
+// traceDashboard builds one timeline/straggler panel per collected
+// trace scope from the digest cache.
+func (c *Coordinator) traceDashboard() []dashboardTrace {
+	var out []dashboardTrace
+	for _, scope := range c.traces.scopes() {
+		a, journals, err := c.traces.digest(scope)
+		if err != nil || a.Records == 0 {
+			continue
+		}
+		dt := dashboardTrace{
+			Scope:    scope,
+			Journals: journals,
+			Records:  a.Records,
+			Tasks:    a.Tasks,
+			Wall:     a.Wall.Round(time.Millisecond).String(),
+			Busy:     a.TaskBusy.Round(time.Millisecond).String(),
+		}
+		if scope == "" {
+			dt.Scope = "fleet"
+		}
+		for _, ws := range a.Workers {
+			dw := dashboardTraceWorker{
+				Name:        ws.Writer,
+				Tasks:       ws.Tasks,
+				Busy:        ws.Busy.Round(time.Millisecond).String(),
+				Window:      ws.Window.Round(time.Millisecond).String(),
+				Parallelism: fmt.Sprintf("%.2f", ws.Parallelism),
+			}
+			if a.Wall > 0 {
+				dw.Coverage = math.Min(100, 100*float64(ws.Window)/float64(a.Wall))
+			}
+			dt.Workers = append(dt.Workers, dw)
+		}
+		for i, st := range a.Stragglers {
+			if i == 5 {
+				break
+			}
+			dt.Stragglers = append(dt.Stragglers, dashboardTraceStraggler{
+				Worker:  st.Record.Writer,
+				Task:    st.Record.AttrStr("task"),
+				Measure: st.Measure,
+				Dur:     st.Dur.Round(time.Millisecond).String(),
+				Typical: st.Typical.Round(time.Millisecond).String(),
+				Factor:  fmt.Sprintf("%.1fx", st.Factor),
+			})
+		}
+		out = append(out, dt)
+	}
+	return out
 }
 
 func formatPercent(v float64) string {
@@ -192,6 +280,30 @@ th { background: #f0f0f0; }
 {{end}}
 </table>
 {{else}}<p class="meta">No workers seen yet.</p>{{end}}
+
+{{range .Traces}}
+<h2>Trace timeline — <code>{{.Scope}}</code></h2>
+<p class="meta">{{.Records}} spans from {{.Journals}} shipped journals · {{.Tasks}} tasks · wall {{.Wall}} · task busy {{.Busy}} · <a href="/v1/trace{{if ne .Scope "fleet"}}?job={{.Scope}}{{end}}">merged journal</a></p>
+<table>
+<tr><th>worker</th><th>tasks</th><th>busy</th><th>active window</th><th>window vs wall</th><th>parallelism</th></tr>
+{{range .Workers}}
+<tr>
+<td><code>{{.Name}}</code></td><td>{{.Tasks}}</td><td>{{.Busy}}</td><td>{{.Window}}</td>
+<td><span class="bar"><i style="width:{{printf "%.1f" .Coverage}}%"></i></span> {{printf "%.1f" .Coverage}}%</td>
+<td>{{.Parallelism}}</td>
+</tr>
+{{end}}
+</table>
+{{if .Stragglers}}
+<h3 class="meta">Stragglers</h3>
+<table>
+<tr><th>worker</th><th>task</th><th>measure</th><th>duration</th><th>typical</th><th>factor</th></tr>
+{{range .Stragglers}}
+<tr><td><code>{{.Worker}}</code></td><td><code>{{.Task}}</code></td><td>{{.Measure}}</td><td>{{.Dur}}</td><td>{{.Typical}}</td><td>{{.Factor}}</td></tr>
+{{end}}
+</table>
+{{end}}
+{{end}}
 
 {{if .HasCache}}
 <h2>Score cache</h2>

@@ -29,6 +29,25 @@ type gridMetrics struct {
 	leaseLatency   *gridobs.Histogram
 	httpDuration   *gridobs.Histogram
 
+	// Trace-ingest counters: the fleet observability plane's own
+	// health (POST /v1/trace volume and dedup effectiveness).
+	traceUploads  *gridobs.Counter
+	traceBytes    *gridobs.Counter
+	traceSpans    *gridobs.Counter
+	traceDedup    *gridobs.Counter
+	traceJournals *gridobs.Gauge
+
+	// Federated worker metrics, refreshed at scrape time from the
+	// latest snapshot each worker piggybacked on a trace upload.
+	// Counters arrive cumulative-since-worker-start, so they re-expose
+	// as per-worker gauges (the same shape as grid_cache_hits);
+	// histograms re-expose per worker and merged across the fleet.
+	workerTasks       *gridobs.GaugeVec     // worker
+	workerPoints      *gridobs.GaugeVec     // worker, kind
+	workerRetries     *gridobs.GaugeVec     // worker
+	workerTaskSeconds *gridobs.HistogramVec // worker, measure
+	fleetTaskSeconds  *gridobs.HistogramVec // measure
+
 	jobTasks      *gridobs.GaugeVec // job, state
 	jobETA        *gridobs.GaugeVec // job
 	jobPriority   *gridobs.GaugeVec // job
@@ -64,6 +83,20 @@ func newGridMetrics(c *Coordinator) *gridMetrics {
 			"Per-task lease latency: lease grant to result ingest.", gridobs.DefBuckets),
 		httpDuration: r.NewHistogram("grid_http_request_duration_seconds",
 			"HTTP request handling time.", gridobs.DefBuckets),
+
+		traceUploads:  r.NewCounter("grid_trace_uploads_total", "Trace chunk uploads accepted (including empty stats probes)."),
+		traceBytes:    r.NewCounter("grid_trace_bytes_total", "Journal bytes appended to collected traces (post-dedup)."),
+		traceSpans:    r.NewCounter("grid_trace_spans_total", "Span records appended to collected traces (post-dedup)."),
+		traceDedup:    r.NewCounter("grid_trace_dedup_total", "Trace uploads that overlapped already-collected bytes (retries after a lost ack)."),
+		traceJournals: r.NewGauge("grid_trace_journals", "Distinct (job, writer) journals collected."),
+
+		workerTasks:   r.NewGaugeVec("grid_worker_tasks", "Tasks computed, per worker (cumulative since worker start, federated from trace uploads).", "worker"),
+		workerPoints:  r.NewGaugeVec("grid_worker_points", "Design points by source, per worker (federated).", "worker", "kind"),
+		workerRetries: r.NewGaugeVec("grid_worker_upload_retries", "Upload retries, per worker (federated).", "worker"),
+		workerTaskSeconds: r.NewHistogramVec("grid_worker_task_seconds",
+			"Per-worker task compute latency by measure (federated from trace uploads).", gridobs.DefBuckets, "worker", "measure"),
+		fleetTaskSeconds: r.NewHistogramVec("grid_fleet_task_seconds",
+			"Fleet-wide task compute latency by measure: per-worker histograms merged bucket-wise.", gridobs.DefBuckets, "measure"),
 
 		jobTasks:      r.NewGaugeVec("grid_job_tasks", "Per-job task counts by state — pending is the queue depth.", "job", "state"),
 		jobETA:        r.NewGaugeVec("grid_job_eta_seconds", "Estimated seconds until the job completes, from its observed completion rate. NaN before any progress.", "job"),
@@ -144,6 +177,38 @@ func (c *Coordinator) collectGauges(m *gridMetrics) {
 		} else {
 			m.cacheHitRatio.Set(math.NaN())
 		}
+	}
+
+	c.collectFederated(m)
+}
+
+// collectFederated re-exposes the latest worker snapshots (shipped on
+// trace uploads) as per-worker series plus a fleet-merged latency
+// histogram. Departed workers' last snapshots persist — like
+// grid_worker_latency_seconds, the series outlives the worker so a
+// post-run scrape still sees the whole fleet.
+func (c *Coordinator) collectFederated(m *gridMetrics) {
+	m.traceJournals.Set(float64(c.traces.journalCount()))
+
+	snaps := c.traces.snapshots()
+	m.workerTasks.Reset()
+	m.workerPoints.Reset()
+	m.workerRetries.Reset()
+	m.workerTaskSeconds.Reset()
+	m.fleetTaskSeconds.Reset()
+	fleet := map[string]gridobs.HistSnapshot{}
+	for name, snap := range snaps {
+		m.workerTasks.With(name).Set(snap.Tasks)
+		m.workerPoints.With(name, "simulated").Set(snap.PointsSimulated)
+		m.workerPoints.With(name, "cache_served").Set(snap.PointsCached)
+		m.workerRetries.With(name).Set(snap.UploadRetries)
+		for measure, hs := range snap.TaskSeconds {
+			m.workerTaskSeconds.With(name, measure).Load(hs)
+			fleet[measure] = fleet[measure].Merge(hs)
+		}
+	}
+	for measure, hs := range fleet {
+		m.fleetTaskSeconds.With(measure).Load(hs)
 	}
 }
 

@@ -1,0 +1,156 @@
+package grid
+
+// TraceShipper streams a worker's span journal to its coordinator.
+// It tails the journal file the recorder appends to — flushing the
+// recorder first so every span recorded so far is on disk — and
+// uploads complete-line chunks with their byte offset. The ack's Have
+// is authoritative: the shipper resumes from wherever the coordinator
+// says its collected copy ends, so retries, duplicate sends and
+// coordinator restarts all converge without ever duplicating a span.
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/gridobs"
+	"repro/internal/obs"
+)
+
+// DefaultShipInterval is the incremental flush cadence of
+// TraceShipper.Run.
+const DefaultShipInterval = 2 * time.Second
+
+// TraceShipperOptions configures a TraceShipper.
+type TraceShipperOptions struct {
+	// Job scopes the collected journal on the coordinator. "" files it
+	// under the shared fleet scope (multi-job workers trace every job
+	// into one journal).
+	Job string
+	// Client is the HTTP client; nil = NewClient(AuthToken).
+	Client *http.Client
+	// AuthToken is the coordinator's shared secret; ignored when
+	// Client is provided.
+	AuthToken string
+	// Metrics, if non-nil, is snapshotted onto every upload so the
+	// coordinator can federate this worker's counters and latency
+	// histograms into its own /metrics.
+	Metrics *gridobs.WorkerMetrics
+	// Interval is the Run cadence; 0 = DefaultShipInterval.
+	Interval time.Duration
+	// ChunkBytes bounds one upload body; 0 = obs.DefaultChunkBytes.
+	ChunkBytes int
+	// Logf, if non-nil, receives ship errors from Run.
+	Logf func(format string, args ...any)
+}
+
+// TraceShipper ships one recorder's journal. Create with
+// NewTraceShipper, run Run in a goroutine alongside Work, and call
+// Ship once after Work returns for the final drain flush.
+type TraceShipper struct {
+	baseURL string
+	rec     *obs.Recorder
+	path    string
+	writer  string
+	opts    TraceShipperOptions
+	client  *http.Client
+
+	mu     sync.Mutex // serializes Ship passes
+	offset int64      // bytes acked by the coordinator
+}
+
+// NewTraceShipper builds a shipper for the journal at path, written
+// by rec (whose writer name identifies the stream on the
+// coordinator).
+func NewTraceShipper(baseURL string, rec *obs.Recorder, path string, opts TraceShipperOptions) *TraceShipper {
+	client := opts.Client
+	if client == nil {
+		client = NewClient(opts.AuthToken)
+	}
+	return &TraceShipper{
+		baseURL: baseURL,
+		rec:     rec,
+		path:    path,
+		writer:  rec.Writer(),
+		opts:    opts,
+		client:  client,
+	}
+}
+
+func (s *TraceShipper) interval() time.Duration {
+	if s.opts.Interval > 0 {
+		return s.opts.Interval
+	}
+	return DefaultShipInterval
+}
+
+// Offset returns how many journal bytes the coordinator has acked.
+func (s *TraceShipper) Offset() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.offset
+}
+
+// Ship flushes the recorder and uploads everything past the acked
+// offset, in chunks, until the coordinator has the whole journal. At
+// least one upload is always sent — possibly with no data — so the
+// coordinator's federated metrics snapshot stays fresh even when no
+// new spans landed. Safe to call concurrently with Run; overlapping
+// calls serialize.
+func (s *TraceShipper) Ship(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if err := s.rec.Flush(); err != nil {
+		return err
+	}
+	first := true
+	for {
+		data, _, err := obs.ReadChunk(s.path, s.offset, s.opts.ChunkBytes)
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 && !first {
+			return nil
+		}
+		first = false
+		var ack TraceAck
+		up := TraceUpload{
+			Writer: s.writer, Job: s.opts.Job,
+			Offset: s.offset, Data: data,
+			Stats: s.opts.Metrics.Snapshot(),
+		}
+		if err := postJSON(ctx, s.client, apiURL(s.baseURL, "trace"), up, &ack); err != nil {
+			return err
+		}
+		if ack.Have == s.offset && len(data) == 0 {
+			return nil // pure stats probe, nothing new on either side
+		}
+		// Resume from wherever the coordinator says its copy ends: end
+		// of our chunk normally, earlier after a coordinator restart
+		// (rewind and re-ship), later if a twin shipper got there first.
+		s.offset = ack.Have
+	}
+}
+
+// Run ships on a ticker until ctx is cancelled — the incremental
+// flush that keeps the coordinator's timeline live during a run.
+// Errors are logged and retried next tick; the journal is append-only
+// and offsets are acked, so a failed pass loses nothing.
+func (s *TraceShipper) Run(ctx context.Context) {
+	tick := time.NewTicker(s.interval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if err := s.Ship(ctx); err != nil && ctx.Err() == nil {
+			if s.opts.Logf != nil {
+				s.opts.Logf("grid: trace ship: %v", err)
+			}
+		}
+	}
+}

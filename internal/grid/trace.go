@@ -1,0 +1,610 @@
+package grid
+
+// Fleet trace collection: workers stream their span journals to the
+// coordinator in chunked, idempotent POST /v1/trace uploads, and the
+// coordinator persists each (job, writer) stream verbatim in the same
+// append-only JSONL format the workers write locally. Because the
+// collected files are byte-for-byte copies of the originals,
+// obs.Merge / obs.Analyze work unchanged on the collected set and
+// produce output identical to merging the workers' local journals.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/gridobs"
+	"repro/internal/obs"
+)
+
+// fleetScope is the collection scope for journals shipped without a
+// job binding (multi-job workers trace all their jobs into one
+// journal). It can never collide with a job ID — IDs are always
+// "<domain>-<12 hex digits>".
+const fleetScope = "_fleet"
+
+// --- Wire types ---
+
+// TraceUpload is one chunk of a worker's span journal. Offset is the
+// byte position of Data within the worker's local journal; the
+// coordinator appends exactly the bytes it has not seen yet, so
+// re-sending a chunk (retry after a lost 200) or overlapping a
+// previous one is safe. Data always ends on a record boundary
+// (obs.ReadChunk) and may be empty — an empty upload is a pure
+// stats/offset probe. Stats, if present, is the worker's latest
+// metrics snapshot, federated into the coordinator's /metrics.
+type TraceUpload struct {
+	Writer string                  `json:"writer"`
+	Job    string                  `json:"job,omitempty"`
+	Offset int64                   `json:"offset"`
+	Data   []byte                  `json:"data,omitempty"`
+	Stats  *gridobs.WorkerSnapshot `json:"stats,omitempty"`
+}
+
+// TraceAck tells the uploader where the collected copy of its journal
+// ends. Have is authoritative: whatever the request's offset was, the
+// client's next chunk starts at Have. A gap (offset past Have, e.g.
+// after a coordinator restart lost collected bytes) accepts nothing
+// and the client rewinds; a duplicate or overlap accepts only the
+// unseen suffix.
+type TraceAck struct {
+	Have      int64 `json:"have"`
+	Accepted  int64 `json:"accepted"`
+	Duplicate bool  `json:"duplicate,omitempty"`
+}
+
+// TraceDigest is the JSON summary GET /v1/trace?format=digest serves:
+// obs.Analyze over the collected journals — totals, per-measure
+// latency, per-worker utilization, stragglers and the critical path —
+// cheap enough to poll from a dashboard.
+type TraceDigest struct {
+	Job             string           `json:"job,omitempty"`
+	Journals        int              `json:"journals"`
+	Records         int              `json:"records"`
+	Tasks           int              `json:"tasks"`
+	WallUS          int64            `json:"wall_us"`
+	TaskBusyUS      int64            `json:"task_busy_us"`
+	PointsSimulated int64            `json:"points_simulated"`
+	PointsCached    int64            `json:"points_cached"`
+	CacheLookups    int64            `json:"cache_lookups"`
+	CacheHits       int64            `json:"cache_hits"`
+	Workers         []TraceWorker    `json:"workers,omitempty"`
+	Measures        []TraceMeasure   `json:"measures,omitempty"`
+	Stragglers      []TraceStraggler `json:"stragglers,omitempty"`
+	CriticalPath    []TraceSpan      `json:"critical_path,omitempty"`
+}
+
+// TraceWorker is one worker's utilization within a digest.
+type TraceWorker struct {
+	Writer      string  `json:"writer"`
+	Tasks       int     `json:"tasks"`
+	BusyUS      int64   `json:"busy_us"`
+	WindowUS    int64   `json:"window_us"`
+	Parallelism float64 `json:"parallelism"`
+	Simulated   int64   `json:"simulated"`
+	CacheHits   int64   `json:"cache_hits"`
+}
+
+// TraceMeasure is one measure's latency profile within a digest.
+type TraceMeasure struct {
+	Measure   string `json:"measure"`
+	Tasks     int    `json:"tasks"`
+	MinUS     int64  `json:"min_us"`
+	MeanUS    int64  `json:"mean_us"`
+	P50US     int64  `json:"p50_us"`
+	P90US     int64  `json:"p90_us"`
+	MaxUS     int64  `json:"max_us"`
+	TotalUS   int64  `json:"total_us"`
+	Points    int64  `json:"points"`
+	CacheHits int64  `json:"cache_hits"`
+	Simulated int64  `json:"simulated"`
+}
+
+// TraceStraggler is one outlier task span within a digest.
+type TraceStraggler struct {
+	Writer    string  `json:"writer"`
+	Task      string  `json:"task"`
+	Measure   string  `json:"measure"`
+	DurUS     int64   `json:"dur_us"`
+	TypicalUS int64   `json:"typical_us"`
+	Factor    float64 `json:"factor"`
+}
+
+// TraceSpan is one span on the digest's critical path.
+type TraceSpan struct {
+	Writer  string `json:"writer"`
+	Name    string `json:"name"`
+	Task    string `json:"task,omitempty"`
+	Measure string `json:"measure,omitempty"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+func digestFromAnalysis(job string, journals int, a *obs.Analysis) TraceDigest {
+	d := TraceDigest{
+		Job:             job,
+		Journals:        journals,
+		Records:         a.Records,
+		Tasks:           a.Tasks,
+		WallUS:          a.Wall.Microseconds(),
+		TaskBusyUS:      a.TaskBusy.Microseconds(),
+		PointsSimulated: a.PointsSimulated,
+		PointsCached:    a.PointsCached,
+		CacheLookups:    a.CacheLookups,
+		CacheHits:       a.CacheHits,
+	}
+	for _, ws := range a.Workers {
+		d.Workers = append(d.Workers, TraceWorker{
+			Writer: ws.Writer, Tasks: ws.Tasks,
+			BusyUS: ws.Busy.Microseconds(), WindowUS: ws.Window.Microseconds(),
+			Parallelism: ws.Parallelism, Simulated: ws.Simulated, CacheHits: ws.CacheHits,
+		})
+	}
+	for _, ms := range a.Measures {
+		d.Measures = append(d.Measures, TraceMeasure{
+			Measure: ms.Measure, Tasks: ms.Tasks,
+			MinUS: ms.Min.Microseconds(), MeanUS: ms.Mean.Microseconds(),
+			P50US: ms.P50.Microseconds(), P90US: ms.P90.Microseconds(),
+			MaxUS: ms.Max.Microseconds(), TotalUS: ms.Total.Microseconds(),
+			Points: ms.Points, CacheHits: ms.CacheHits, Simulated: ms.Simulated,
+		})
+	}
+	for _, st := range a.Stragglers {
+		d.Stragglers = append(d.Stragglers, TraceStraggler{
+			Writer: st.Record.Writer, Task: st.Record.AttrStr("task"),
+			Measure: st.Measure, DurUS: st.Dur.Microseconds(),
+			TypicalUS: st.Typical.Microseconds(), Factor: st.Factor,
+		})
+	}
+	for _, rec := range a.CriticalPath {
+		d.CriticalPath = append(d.CriticalPath, TraceSpan{
+			Writer: rec.Writer, Name: rec.Name,
+			Task: rec.AttrStr("task"), Measure: rec.AttrStr("measure"),
+			StartUS: rec.StartUS, DurUS: rec.DurUS,
+		})
+	}
+	return d
+}
+
+// --- Collector ---
+
+type traceKey struct{ job, writer string }
+
+type traceJournal struct {
+	job    string // "" = fleet scope
+	writer string
+	path   string
+	size   int64 // collected bytes == the uploader's acked offset
+}
+
+// traceCollector owns the coordinator's collected journals: one
+// verbatim file per (job, writer) under <root>/<scope>/trace/, where
+// scope is the job ID or "_fleet". With no configured directory a
+// temp dir is created lazily and removed on Close, so an in-memory
+// coordinator still collects traces through the one file-based path.
+type traceCollector struct {
+	configured string // CoordinatorOptions.Dir, "" = temp
+	logf       func(format string, args ...any)
+
+	mu       sync.Mutex
+	root     string // resolved on first use
+	temp     bool
+	journals map[traceKey]*traceJournal
+	snaps    map[string]gridobs.WorkerSnapshot
+	digests  map[string]*traceDigestCache
+}
+
+// traceDigestCache memoises one scope's obs.Analyze result, keyed by
+// the scope's collected byte total — appends invalidate it, polling
+// an idle fleet does not re-analyze.
+type traceDigestCache struct {
+	bytes    int64
+	journals int
+	analysis *obs.Analysis
+}
+
+func newTraceCollector(dir string, logf func(string, ...any)) *traceCollector {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &traceCollector{
+		configured: dir,
+		logf:       logf,
+		journals:   map[traceKey]*traceJournal{},
+		snaps:      map[string]gridobs.WorkerSnapshot{},
+		digests:    map[string]*traceDigestCache{},
+	}
+}
+
+func scopeName(job string) string {
+	if job == "" {
+		return fleetScope
+	}
+	return job
+}
+
+func (tc *traceCollector) rootLocked() (string, error) {
+	if tc.root != "" {
+		return tc.root, nil
+	}
+	if tc.configured != "" {
+		tc.root = tc.configured
+		return tc.root, nil
+	}
+	dir, err := os.MkdirTemp("", "grid-trace-")
+	if err != nil {
+		return "", err
+	}
+	tc.root, tc.temp = dir, true
+	return tc.root, nil
+}
+
+// journalLocked returns (creating if needed) the collected journal for
+// one (job, writer) stream. On first open of a pre-existing file —
+// coordinator restart — the file is truncated back to its last
+// newline: a crash mid-append could have left a torn tail, and the
+// offset protocol needs the collected size to sit on a record
+// boundary of the worker's journal.
+func (tc *traceCollector) journalLocked(job, writer string) (*traceJournal, error) {
+	key := traceKey{job, writer}
+	if j := tc.journals[key]; j != nil {
+		return j, nil
+	}
+	root, err := tc.rootLocked()
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(root, scopeName(job), "trace")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := obs.JournalPath(dir, writer)
+	size, err := truncateToNewline(path)
+	if err != nil {
+		return nil, err
+	}
+	j := &traceJournal{job: job, writer: writer, path: path, size: size}
+	tc.journals[key] = j
+	return j, nil
+}
+
+// truncateToNewline trims path back to just past its last '\n' and
+// returns the resulting size; a missing file is size 0.
+func truncateToNewline(path string) (int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := info.Size()
+	buf := make([]byte, 64<<10)
+	var last int64 = -1 // position of the last '\n'
+	var off int64
+	for off < size {
+		n, err := f.ReadAt(buf, off)
+		if n > 0 {
+			if i := bytes.LastIndexByte(buf[:n], '\n'); i >= 0 {
+				last = off + int64(i)
+			}
+			off += int64(n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	keep := last + 1
+	if keep < size {
+		if err := f.Truncate(keep); err != nil {
+			return 0, err
+		}
+	}
+	return keep, nil
+}
+
+// append ingests one upload chunk idempotently: only bytes past the
+// collected size are written (verbatim, synced), so replays and
+// overlaps never duplicate or tear a record. Returns the ack plus the
+// appended byte/span counts for metrics.
+func (tc *traceCollector) append(job, writer string, offset int64, data []byte) (ack TraceAck, spans int64, dup bool, err error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	j, err := tc.journalLocked(job, writer)
+	if err != nil {
+		return TraceAck{}, 0, false, err
+	}
+	have := j.size
+	switch {
+	case offset > have:
+		// Gap: the client is ahead of us (collected bytes were lost to
+		// a restart). Accept nothing; the client rewinds to Have.
+		return TraceAck{Have: have}, 0, false, nil
+	case offset+int64(len(data)) <= have:
+		// Entirely seen before — a retry after a lost ack.
+		return TraceAck{Have: have, Duplicate: true}, 0, len(data) > 0, nil
+	}
+	app := data[have-offset:]
+	if err := appendFile(j.path, app); err != nil {
+		return TraceAck{}, 0, false, err
+	}
+	j.size += int64(len(app))
+	return TraceAck{Have: j.size, Accepted: int64(len(app)), Duplicate: offset < have},
+		int64(bytes.Count(app, []byte{'\n'})), offset < have, nil
+}
+
+// appendFile appends data to path with an fsync — chunks are
+// infrequent (seconds apart per worker), so open/write/sync/close per
+// chunk keeps the collected copy as crash-tolerant as the original.
+func appendFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (tc *traceCollector) setSnapshot(writer string, s gridobs.WorkerSnapshot) {
+	tc.mu.Lock()
+	tc.snaps[writer] = s
+	tc.mu.Unlock()
+}
+
+// snapshots returns the latest federated snapshot per worker.
+func (tc *traceCollector) snapshots() map[string]gridobs.WorkerSnapshot {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := make(map[string]gridobs.WorkerSnapshot, len(tc.snaps))
+	for k, v := range tc.snaps {
+		out[k] = v
+	}
+	return out
+}
+
+func (tc *traceCollector) journalCount() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	n := 0
+	for _, j := range tc.journals {
+		if j.size > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// pathsLocked lists the collected journal files for one scope ("" =
+// every scope), sorted for deterministic merges. Streams that only
+// ever sent stats probes have no file yet and are skipped.
+func (tc *traceCollector) pathsLocked(job string) []string {
+	var paths []string
+	for _, j := range tc.journals {
+		if j.size > 0 && (job == "" || j.job == job) {
+			paths = append(paths, j.path)
+		}
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+func (tc *traceCollector) paths(job string) []string {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.pathsLocked(job)
+}
+
+// scopes lists the distinct jobs with collected journals ("" = fleet
+// scope), sorted with the fleet scope last.
+func (tc *traceCollector) scopes() []string {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	seen := map[string]bool{}
+	for _, j := range tc.journals {
+		seen[j.job] = true
+	}
+	var out []string
+	for job := range seen {
+		if job != "" {
+			out = append(out, job)
+		}
+	}
+	sort.Strings(out)
+	if seen[""] {
+		out = append(out, "")
+	}
+	return out
+}
+
+func (tc *traceCollector) bytesLocked(job string) int64 {
+	var total int64
+	for _, j := range tc.journals {
+		if job == "" || j.job == job {
+			total += j.size
+		}
+	}
+	return total
+}
+
+// digest analyzes one scope's collected timeline, memoised by
+// collected byte total. The file reads run outside the lock —
+// collected journals only ever grow, so a racing append at worst
+// leaves this digest one chunk behind, which the next poll fixes.
+func (tc *traceCollector) digest(job string) (*obs.Analysis, int, error) {
+	tc.mu.Lock()
+	paths := tc.pathsLocked(job)
+	total := tc.bytesLocked(job)
+	if dc := tc.digests[job]; dc != nil && dc.bytes == total && dc.journals == len(paths) {
+		a, n := dc.analysis, dc.journals
+		tc.mu.Unlock()
+		return a, n, nil
+	}
+	tc.mu.Unlock()
+
+	recs, err := obs.LoadFiles(paths...)
+	if err != nil {
+		return nil, 0, err
+	}
+	a := obs.Analyze(recs)
+
+	tc.mu.Lock()
+	tc.digests[job] = &traceDigestCache{bytes: total, journals: len(paths), analysis: a}
+	tc.mu.Unlock()
+	return a, len(paths), nil
+}
+
+// Close removes the lazily created temp root, if any.
+func (tc *traceCollector) Close() error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.temp && tc.root != "" {
+		err := os.RemoveAll(tc.root)
+		tc.root, tc.temp = "", false
+		return err
+	}
+	return nil
+}
+
+// --- Handlers ---
+
+func (c *Coordinator) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	var up TraceUpload
+	if !c.readBody(w, r, &up) {
+		return
+	}
+	if up.Writer == "" {
+		writeError(w, fmt.Errorf("grid: trace upload needs a writer"))
+		return
+	}
+	if up.Offset < 0 {
+		writeError(w, fmt.Errorf("grid: trace upload offset must be >= 0"))
+		return
+	}
+	if up.Job != "" {
+		c.mu.Lock()
+		_, err := c.getJob(up.Job)
+		c.mu.Unlock()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	ack, spans, dup, err := c.traces.append(up.Job, up.Writer, up.Offset, up.Data)
+	if err != nil {
+		writeError(w, fmt.Errorf("grid: trace collect: %w", err))
+		return
+	}
+	c.metrics.traceUploads.Inc()
+	c.metrics.traceBytes.Add(float64(ack.Accepted))
+	c.metrics.traceSpans.Add(float64(spans))
+	if dup {
+		c.metrics.traceDedup.Inc()
+	}
+	if up.Stats != nil {
+		c.traces.setSnapshot(up.Writer, *up.Stats)
+	}
+	if ack.Accepted > 0 {
+		c.logfCtx(r.Context(), "grid: trace: %s/%s +%dB (%d spans, have %d)",
+			scopeName(up.Job), up.Writer, ack.Accepted, spans, ack.Have)
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+func (c *Coordinator) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	jobID := r.URL.Query().Get("job")
+	if jobID != "" {
+		c.mu.Lock()
+		_, err := c.getJob(jobID)
+		c.mu.Unlock()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	if r.URL.Query().Get("format") == "digest" {
+		a, journals, err := c.traces.digest(jobID)
+		if err != nil {
+			writeError(w, fmt.Errorf("grid: trace digest: %w", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, digestFromAnalysis(jobID, journals, a))
+		return
+	}
+	paths := c.traces.paths(jobID)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if len(paths) == 0 {
+		return // 200, empty timeline
+	}
+	if _, err := obs.Merge(w, paths...); err != nil {
+		c.logfCtx(r.Context(), "grid: trace merge failed: %v", err)
+	}
+}
+
+// --- Client ---
+
+// FetchTraceDigest fetches a coordinator's analyzed trace summary;
+// jobID "" digests every collected journal.
+func FetchTraceDigest(ctx context.Context, client *http.Client, baseURL, jobID string) (TraceDigest, error) {
+	if client == nil {
+		client = defaultClient()
+	}
+	var d TraceDigest
+	u := apiURL(baseURL, "trace") + "?format=digest"
+	if jobID != "" {
+		u += "&job=" + url.QueryEscape(jobID)
+	}
+	err := getJSON(ctx, client, u, &d)
+	return d, err
+}
+
+// FetchTrace downloads a coordinator's merged trace journal — JSONL
+// bytes in the canonical obs.Merge order, parseable with
+// obs.LoadReader. jobID "" merges every collected journal.
+func FetchTrace(ctx context.Context, client *http.Client, baseURL, jobID string) ([]byte, error) {
+	if client == nil {
+		client = defaultClient()
+	}
+	u := apiURL(baseURL, "trace")
+	if jobID != "" {
+		u += "?job=" + url.QueryEscape(jobID)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("grid: GET %s: %s: %s", u, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}

@@ -1,0 +1,131 @@
+package gridobs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestHistogramSnapshotLoadRoundtrip(t *testing.T) {
+	reg := NewRegistry()
+	src := reg.NewHistogram("src_seconds", "", DefBuckets)
+	for _, v := range []float64{0.002, 0.002, 0.03, 0.7, 12} {
+		src.Observe(v)
+	}
+	snap := src.Snapshot()
+	if snap.Count != 5 {
+		t.Fatalf("snapshot count = %d, want 5", snap.Count)
+	}
+	if snap.Sum != 0.002+0.002+0.03+0.7+12 {
+		t.Fatalf("snapshot sum = %v", snap.Sum)
+	}
+	var total uint64
+	for _, c := range snap.Counts {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("bucket counts sum to %d, want 5 (counts must be non-cumulative)", total)
+	}
+
+	dst := NewRegistry().NewHistogram("dst_seconds", "", DefBuckets)
+	if !dst.Load(snap) {
+		t.Fatal("Load rejected a matching snapshot")
+	}
+	if got := dst.Snapshot(); !reflect.DeepEqual(got.Counts, snap.Counts) || got.Sum != snap.Sum || got.Count != snap.Count {
+		t.Fatalf("loaded snapshot = %+v, want %+v", got, snap)
+	}
+
+	// Mismatched bucket layout must be refused, not silently mangled.
+	other := NewRegistry().NewHistogram("other_seconds", "", []float64{1, 2})
+	if other.Load(snap) {
+		t.Fatal("Load accepted a snapshot with a different bucket count")
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.NewHistogram("a_seconds", "", DefBuckets)
+	b := reg.NewHistogram("b_seconds", "", DefBuckets)
+	a.Observe(0.002)
+	a.Observe(4)
+	b.Observe(0.002)
+	sa, sb := a.Snapshot(), b.Snapshot()
+
+	m := sa.Merge(sb)
+	if m.Count != 3 || m.Sum != 4.004 {
+		t.Fatalf("merge count/sum = %d/%v, want 3/4.004", m.Count, m.Sum)
+	}
+	var total uint64
+	for _, c := range m.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("merged bucket counts sum to %d, want 3", total)
+	}
+
+	// A zero receiver adopts the argument (the fleet-accumulator case).
+	if got := (HistSnapshot{}).Merge(sb); !reflect.DeepEqual(got, sb) {
+		t.Fatalf("zero.Merge = %+v, want %+v", got, sb)
+	}
+	// Mismatched layouts keep the receiver.
+	odd := HistSnapshot{Counts: []uint64{1}, Count: 1, Sum: 9}
+	if got := sa.Merge(odd); !reflect.DeepEqual(got.Counts, sa.Counts) || got.Count != sa.Count {
+		t.Fatalf("mismatched merge mutated the receiver: %+v", got)
+	}
+}
+
+func TestHistogramVecEachAndReset(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.NewHistogramVec("task_seconds", "", DefBuckets, "measure")
+	vec.With("robustness").Observe(1)
+	vec.With("performance").Observe(2)
+
+	var seen []string
+	vec.Each(func(values []string, h *Histogram) {
+		seen = append(seen, values[0])
+		if h.Count() != 1 {
+			t.Errorf("child %q count = %d, want 1", values[0], h.Count())
+		}
+	})
+	if want := []string{"performance", "robustness"}; !reflect.DeepEqual(seen, want) {
+		t.Fatalf("Each order = %v, want %v (sorted by label)", seen, want)
+	}
+
+	vec.Reset()
+	seen = nil
+	vec.Each(func(values []string, h *Histogram) { seen = append(seen, values[0]) })
+	if len(seen) != 0 {
+		t.Fatalf("children survive Reset: %v", seen)
+	}
+}
+
+func TestWorkerMetricsSnapshot(t *testing.T) {
+	var nilMetrics *WorkerMetrics
+	if nilMetrics.Snapshot() != nil {
+		t.Fatal("nil WorkerMetrics must snapshot to nil")
+	}
+
+	m := NewWorkerMetrics(nil)
+	m.ObserveLease(4)
+	m.ObserveTask("performance", 120*time.Millisecond, 6, 2)
+	m.ObserveTask("robustness", 40*time.Millisecond, 0, 8)
+	m.ObserveUpload(2)
+	m.ObserveLeasesLost(1)
+
+	s := m.Snapshot()
+	if s.Tasks != 2 || s.PointsSimulated != 6 || s.PointsCached != 10 {
+		t.Fatalf("task counters = %+v", s)
+	}
+	if s.Leases != 1 || s.LeasedTasks != 4 || s.Uploads != 1 || s.UploadRetries != 2 || s.LeasesLost != 1 {
+		t.Fatalf("lease/upload counters = %+v", s)
+	}
+	if len(s.TaskSeconds) != 2 {
+		t.Fatalf("task_seconds has %d measures, want 2", len(s.TaskSeconds))
+	}
+	if hs := s.TaskSeconds["performance"]; hs.Count != 1 || hs.Sum != 0.12 {
+		t.Fatalf("performance snapshot = %+v", hs)
+	}
+	if hs := s.TaskSeconds["robustness"]; hs.Count != 1 {
+		t.Fatalf("robustness snapshot = %+v", hs)
+	}
+}

@@ -101,6 +101,51 @@ func (m *WorkerMetrics) ObserveLeasesLost(n int) {
 	m.leasesLost.Add(float64(n))
 }
 
+// WorkerSnapshot is a point-in-time copy of a worker's counters and
+// per-measure latency histograms, shaped for the wire: workers
+// piggyback it on trace uploads and the coordinator federates the
+// latest snapshot per worker into its own /metrics. Counters are
+// cumulative since worker start, so the coordinator re-exposes them
+// as per-worker gauges; histograms merge across workers by bucket
+// (HistSnapshot.Merge).
+type WorkerSnapshot struct {
+	Tasks           float64                 `json:"tasks"`
+	PointsSimulated float64                 `json:"points_simulated"`
+	PointsCached    float64                 `json:"points_cached"`
+	Leases          float64                 `json:"leases"`
+	LeasedTasks     float64                 `json:"leased_tasks"`
+	Uploads         float64                 `json:"uploads"`
+	UploadRetries   float64                 `json:"upload_retries"`
+	LeasesLost      float64                 `json:"leases_lost"`
+	TaskSeconds     map[string]HistSnapshot `json:"task_seconds,omitempty"`
+}
+
+// Snapshot copies the current counter values and per-measure latency
+// histograms. Returns nil on a nil receiver (a worker running without
+// metrics ships trace chunks with no stats attached).
+func (m *WorkerMetrics) Snapshot() *WorkerSnapshot {
+	if m == nil {
+		return nil
+	}
+	s := &WorkerSnapshot{
+		Tasks:           m.tasks.Value(),
+		PointsSimulated: m.pointsSimulated.Value(),
+		PointsCached:    m.pointsCached.Value(),
+		Leases:          m.leases.Value(),
+		LeasedTasks:     m.leasedTasks.Value(),
+		Uploads:         m.uploads.Value(),
+		UploadRetries:   m.uploadRetries.Value(),
+		LeasesLost:      m.leasesLost.Value(),
+	}
+	m.taskSeconds.Each(func(values []string, h *Histogram) {
+		if s.TaskSeconds == nil {
+			s.TaskSeconds = make(map[string]HistSnapshot)
+		}
+		s.TaskSeconds[values[0]] = h.Snapshot()
+	})
+	return s
+}
+
 // Registry exposes the underlying registry (for composing extra
 // collectors onto the same /metrics).
 func (m *WorkerMetrics) Registry() *Registry {

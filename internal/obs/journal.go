@@ -102,8 +102,14 @@ func readJournal(path string) ([]rawRecord, error) {
 		return nil, err
 	}
 	defer f.Close()
+	return readJournalFrom(f, path)
+}
+
+// readJournalFrom is readJournal over any byte stream; name is only
+// used in error messages.
+func readJournalFrom(r io.Reader, name string) ([]rawRecord, error) {
 	var out []rawRecord
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), maxLine)
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -114,7 +120,7 @@ func readJournal(path string) ([]rawRecord, error) {
 		out = append(out, rawRecord{rec: rec, raw: append([]byte(nil), line...)})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: read %s: %w", path, err)
+		return nil, fmt.Errorf("obs: read %s: %w", name, err)
 	}
 	return out, nil
 }
@@ -125,6 +131,32 @@ func LoadFile(path string) ([]Record, error) {
 	raws, err := readJournal(path)
 	if err != nil {
 		return nil, err
+	}
+	return sortedRecords(raws), nil
+}
+
+// LoadReader reads one JSONL record stream — e.g. a merged journal
+// fetched from a coordinator's GET /v1/trace — into canonical order,
+// skipping torn or corrupt lines exactly like the file readers.
+func LoadReader(r io.Reader) ([]Record, error) {
+	raws, err := readJournalFrom(r, "stream")
+	if err != nil {
+		return nil, err
+	}
+	return sortedRecords(raws), nil
+}
+
+// LoadFiles reads the given journals into one merged, canonically
+// ordered timeline. The result is independent of argument order; zero
+// paths yield zero records.
+func LoadFiles(paths ...string) ([]Record, error) {
+	var raws []rawRecord
+	for _, p := range paths {
+		rs, err := readJournal(p)
+		if err != nil {
+			return nil, err
+		}
+		raws = append(raws, rs...)
 	}
 	return sortedRecords(raws), nil
 }
@@ -150,15 +182,7 @@ func LoadDir(dir string) ([]Record, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("obs: no %s journals in %s", JournalPattern, dir)
 	}
-	var raws []rawRecord
-	for _, p := range paths {
-		rs, err := readJournal(p)
-		if err != nil {
-			return nil, err
-		}
-		raws = append(raws, rs...)
-	}
-	return sortedRecords(raws), nil
+	return LoadFiles(paths...)
 }
 
 func sortedRecords(raws []rawRecord) []Record {

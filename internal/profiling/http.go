@@ -1,0 +1,53 @@
+package profiling
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Handler returns the live /debug/pprof/ handler tree — the
+// HTTP-served complement to Start's file profiles, for inspecting a
+// running worker or coordinator (goroutine dumps, heap, 30s CPU
+// profiles) without restarting it. It is opt-in at the CLI layer and
+// never mounted by default: profiles expose internals and a CPU
+// profile costs real cycles.
+//
+// With a non-empty token every request must carry
+// `Authorization: Bearer <token>`, compared in constant time — the
+// same shared-secret scheme as the grid's write endpoints. Pass "" if
+// the caller wraps its own auth around the handler instead.
+func Handler(token string) http.Handler {
+	mux := http.NewServeMux()
+	// Index also serves the named profiles (heap, goroutine, block,
+	// mutex, ...) for any path under /debug/pprof/.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if token == "" {
+		return mux
+	}
+	want := sha256.Sum256([]byte(token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := sha256.Sum256([]byte(bearerToken(r)))
+		if subtle.ConstantTimeCompare(got[:], want[:]) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="pprof"`)
+			http.Error(w, "profiling: missing or invalid auth token", http.StatusUnauthorized)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func bearerToken(r *http.Request) string {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) {
+		return auth[len(prefix):]
+	}
+	return ""
+}

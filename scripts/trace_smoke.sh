@@ -5,8 +5,15 @@
 # on -metrics-addr. Asserts the traced run's CSV is byte-identical to
 # an untraced single-process sweep, the mid-sweep /metrics scrape shows
 # non-zero worker counters, both journals exist and merge, and
-# `dsa-report trace` digests them with exit code 0. A final bench pair
-# pins the tracing overhead on the task execution path under 5%.
+# `dsa-report trace` digests them with exit code 0. A second leg reruns
+# the sweep with both workers shipping their journals to the
+# coordinator (-ship-traces) and asserts the coordinator-collected
+# merged trace is byte-identical to the locally merged reference, the
+# remote and local digest reports match, and the coordinator's
+# /metrics federates trace-ingest and per-worker latency counters. A
+# final bench pair pins the tracing overhead on the task execution
+# path under 5% (shipping structurally cannot touch that path: the
+# shipper tails the journal file from its own goroutine).
 # Run from the repo root; CI runs it on every push.
 set -euo pipefail
 
@@ -14,7 +21,8 @@ workdir=$(mktemp -d)
 bin="$workdir/bin"
 mkdir -p "$bin"
 cleanup() {
-  kill -9 "${coord_pid:-}" "${w1_pid:-}" "${w2_pid:-}" 2>/dev/null || true
+  kill -9 "${coord_pid:-}" "${w1_pid:-}" "${w2_pid:-}" \
+          "${ship_coord_pid:-}" "${s1_pid:-}" "${s2_pid:-}" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -118,6 +126,66 @@ grep -Eq '^tasks +72' "$workdir/trace_report.txt" || {
   exit 1
 }
 
+echo "== remote collection leg: 2 shipping workers, coordinator-collected trace"
+ship_addr="127.0.0.1:18441"
+ship_url="http://$ship_addr"
+trace2_dir="$workdir/trace2"
+"$bin/dsa-grid" serve -addr "$ship_addr" "${sweep_flags[@]}" -preset quick \
+  -checkpoint-dir "$workdir/ckpt2" \
+  >"$workdir/ship_coordinator.log" 2>&1 &
+ship_coord_pid=$!
+for _ in $(seq 1 50); do
+  curl -sf "$ship_url/v1/jobs" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "$ship_url/v1/jobs" >/dev/null
+"$bin/dsa-grid" work -coordinator "$ship_url" -name shipper1 -workers 1 -tasks-per-lease 2 \
+  -trace-dir "$trace2_dir" -ship-traces -ship-interval 500ms -metrics-addr 127.0.0.1:18442 \
+  >"$workdir/shipper1.log" 2>&1 &
+s1_pid=$!
+"$bin/dsa-grid" work -coordinator "$ship_url" -name shipper2 -workers 1 -tasks-per-lease 2 \
+  -trace-dir "$trace2_dir" -ship-traces -ship-interval 500ms -metrics-addr 127.0.0.1:18443 \
+  >"$workdir/shipper2.log" 2>&1 &
+s2_pid=$!
+wait "$s1_pid"
+wait "$s2_pid"
+
+echo "== coordinator-collected merge must be byte-identical to the local merge"
+"$bin/dsa-report" -merged "$workdir/local_merged.jsonl" trace "$trace2_dir" \
+  >"$workdir/ship_report_local.txt"
+"$bin/dsa-report" -merged "$workdir/remote_merged.jsonl" trace "$ship_url" \
+  >"$workdir/ship_report_remote.txt"
+cmp "$workdir/local_merged.jsonl" "$workdir/remote_merged.jsonl"
+cmp "$workdir/ship_report_local.txt" "$workdir/ship_report_remote.txt"
+grep -Eq '^tasks +72' "$workdir/ship_report_remote.txt" || {
+  echo "remote trace report does not account for all 72 tasks" >&2
+  cat "$workdir/ship_report_remote.txt" >&2
+  exit 1
+}
+
+echo "== coordinator /metrics must federate trace ingest and per-worker latency"
+curl -sf "$ship_url/metrics" >"$workdir/ship_metrics.txt"
+for metric in grid_trace_uploads_total grid_trace_bytes_total grid_trace_spans_total; do
+  grep -Eq "^$metric [0-9]*[1-9]" "$workdir/ship_metrics.txt" || {
+    echo "coordinator /metrics has no non-zero $metric" >&2
+    grep "^$metric" "$workdir/ship_metrics.txt" >&2 || true
+    exit 1
+  }
+done
+for w in shipper1 shipper2; do
+  grep -Eq "^grid_worker_task_seconds_count\{worker=\"$w\",measure=\"[a-z]+\"\} [0-9]*[1-9]" \
+    "$workdir/ship_metrics.txt" || {
+    echo "coordinator /metrics has no per-worker latency series for $w" >&2
+    grep "^grid_worker_task_seconds_count" "$workdir/ship_metrics.txt" >&2 || true
+    exit 1
+  }
+done
+grep -Eq '^grid_fleet_task_seconds_count\{measure="[a-z]+"\} [0-9]*[1-9]' \
+  "$workdir/ship_metrics.txt" || {
+  echo "coordinator /metrics has no fleet-merged latency series" >&2; exit 1; }
+kill "$ship_coord_pid" 2>/dev/null || true
+wait "$ship_coord_pid" 2>/dev/null || true
+
 echo "== tracing overhead on the task execution path must stay under 5%"
 go test -run '^$' -bench 'BenchmarkExecTasks(Traced)?$' -benchtime 3x -count 3 \
   ./internal/job/ | tee "$workdir/bench.txt"
@@ -140,4 +208,4 @@ if ratio > 1.05:
     sys.exit('tracing overhead %.1f%% exceeds the 5%% budget' % ((ratio - 1) * 100))
 EOF
 
-echo "OK: byte-identical CSVs, live mid-sweep worker metrics, merged journals analyzed, overhead within budget"
+echo "OK: byte-identical CSVs, live mid-sweep worker metrics, merged journals analyzed, coordinator-collected trace matches local, federated metrics live, overhead within budget"

@@ -14,12 +14,13 @@
 //	               [-checkpoint-dir DIR] [-cache-dir DIR] [-lease-ttl 30s]
 //	               [-out results.csv] [-once] [-priority N]
 //	               [-auth-token SECRET] [-rate-limit N] [-rate-burst N]
-//	               [-pprof]
+//	               [-audit-rate F] [-hedge] [-pprof]
 //
 //	dsa-grid work  -coordinator http://host:8437 [-job ID] [-name ID]
 //	               [-workers N] [-tasks-per-lease N] [-cache-dir DIR]
 //	               [-auth-token SECRET] [-trace-dir DIR] [-metrics-addr :9090]
-//	               [-ship-traces] [-ship-interval 2s] [-pprof]
+//	               [-ship-traces] [-ship-interval 2s] [-reconnect 30s]
+//	               [-chaos-transport SPEC] [-chaos-byzantine] [-pprof]
 //	               [-cpuprofile FILE] [-memprofile FILE]
 //
 // serve registers the sweep (the sweep-shaping flags mirror dsa-sweep)
@@ -43,7 +44,14 @@
 // same shared secret (constant-time bearer-token check on every
 // mutating endpoint); -rate-limit/-rate-burst apply per-client
 // token-bucket admission to the /v1 API; -priority sets the job's
-// fair-share weight against other jobs on the same coordinator. The
+// fair-share weight against other jobs on the same coordinator.
+// -audit-rate F silently re-runs that fraction of completed tasks on a
+// second worker and byte-compares the results: a worker caught
+// uploading wrong values is quarantined (all further requests get HTTP
+// 429), its unaudited results are invalidated and re-queued, and the
+// grid_worker_quarantined metric plus a dashboard pill record the
+// verdict. -hedge grants one speculative duplicate lease for tasks
+// stuck on a straggler (first idempotent upload wins). The
 // coordinator always serves GET /metrics (Prometheus text) and a live
 // HTML dashboard at GET /v1/dashboard. On SIGTERM (or the first ^C) it
 // drains: no new leases are granted, in-flight leases settle (upload
@@ -53,7 +61,9 @@
 // work runs one worker until the job completes. -workers controls how
 // many tasks it computes in parallel (default: all cores); -cache-dir
 // memoises scores on the worker side, so a re-leased or overlapping
-// task uploads known values instead of recomputing them; -cpuprofile /
+// task uploads known values instead of recomputing them; -reconnect W
+// keeps the worker retrying through a coordinator outage for up to a
+// continuous window W (default 0: fail fast); -cpuprofile /
 // -memprofile write pprof profiles of the worker's share of the sweep
 // (see the README's "Benchmarking and profiling" guide).
 //
@@ -73,6 +83,14 @@
 // report at the grid with:
 //
 //	dsa-report -domain D -coordinator http://host:8437 top
+//
+// Chaos switches (for the deterministic fault harness, see
+// internal/chaos and scripts/chaos_smoke.sh): -chaos-transport
+// "seed=7,drop=0.05,delay=0.1:20ms,dup=0.05,corrupt=0.05,err500=0.05"
+// wraps the worker's HTTP client in a seeded fault-injecting
+// RoundTripper; -chaos-byzantine makes the worker upload subtly wrong
+// values, which a coordinator running -audit-rate should catch and
+// quarantine.
 package main
 
 import (
@@ -89,6 +107,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/dsa"
 	"repro/internal/exp"
 	"repro/internal/grid"
@@ -146,8 +165,13 @@ func runServe(sigCtx context.Context, args []string) {
 		rateBurst = fs.Float64("rate-burst", 0, "rate-limit burst capacity (0 = one second of traffic)")
 		priority  = fs.Int("priority", 1, "fair-share weight of this job against other jobs on the coordinator")
 		pprofOn   = fs.Bool("pprof", false, "mount /debug/pprof/ on the API mux (auth-gated when -auth-token is set)")
+		auditRate = fs.Float64("audit-rate", 0, "fraction of completed tasks silently re-verified on a second worker (0 = off); mismatches quarantine the liar")
+		hedge     = fs.Bool("hedge", false, "speculatively duplicate straggling leases onto idle workers (first result wins)")
 	)
 	fs.Parse(args)
+	if *auditRate < 0 || *auditRate > 1 {
+		log.Fatalf("audit-rate must be in [0,1], got %g", *auditRate)
+	}
 	if *stride < 1 {
 		log.Fatal("stride must be >= 1")
 	}
@@ -174,7 +198,7 @@ func runServe(sigCtx context.Context, args []string) {
 	coordOpts := grid.CoordinatorOptions{
 		Dir: *ckptDir, LeaseTTL: *leaseTTL, Logf: log.Printf, CSV: exp.WriteDomainCSV,
 		AuthToken: *authToken, RateLimit: *rateLimit, RateBurst: *rateBurst,
-		Pprof: *pprofOn,
+		Pprof: *pprofOn, AuditRate: *auditRate, Hedge: *hedge,
 	}
 	if *cacheDir != "" {
 		store, err := cache.Open(cache.Options{Dir: *cacheDir})
@@ -311,6 +335,9 @@ func runWork(ctx context.Context, args []string) {
 		pprofOn     = fs.Bool("pprof", false, "mount /debug/pprof/ on the -metrics-addr mux (auth-gated when -auth-token is set)")
 		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of this worker to this file")
 		memProf     = fs.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on completion")
+		reconnect   = fs.Duration("reconnect", 0, "ride out coordinator outages up to this long instead of exiting on the first unreachable call")
+		chaosSpec   = fs.String("chaos-transport", "", "inject seeded transport faults on every coordinator call, e.g. seed=7,drop=0.05,delay=0.1:20ms,dup=0.05,corrupt=0.05,err500=0.05 (chaos testing)")
+		byzantine   = fs.Bool("chaos-byzantine", false, "upload corrupted result values (chaos testing: this worker should end up quarantined)")
 	)
 	fs.Parse(args)
 	if *coordinator == "" {
@@ -338,7 +365,28 @@ func runWork(ctx context.Context, args []string) {
 	}
 	workOpts := grid.WorkerOptions{
 		Name: *name, Workers: *workers, TasksPerLease: *perLease,
-		AuthToken: *authToken, Logf: log.Printf,
+		AuthToken: *authToken, Logf: log.Printf, Reconnect: *reconnect,
+	}
+	if *chaosSpec != "" {
+		cfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		workOpts.Client = &http.Client{
+			Timeout:   grid.DefaultHTTPTimeout,
+			Transport: grid.AuthTransport(*authToken, chaos.NewTransport(cfg, nil, log.Printf)),
+		}
+		log.Printf("chaos transport on: %s", *chaosSpec)
+	}
+	if *byzantine {
+		workOpts.Corrupt = func(t job.Task, values []float64) []float64 {
+			out := append([]float64(nil), values...)
+			if len(out) > 0 {
+				out[0]++
+			}
+			return out
+		}
+		log.Printf("CHAOS: uploading corrupted result values (this worker should end up quarantined)")
 	}
 	if *traceDir != "" {
 		rec, err := obs.OpenDir(*traceDir, *name)

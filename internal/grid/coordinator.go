@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"crypto/subtle"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -87,6 +88,20 @@ type CoordinatorOptions struct {
 	// the coordinator mux, behind the same bearer auth as the write
 	// endpoints when AuthToken is set.
 	Pprof bool
+
+	// AuditRate is the fraction (0..1) of completed tasks silently
+	// re-leased to a different worker for byte-exact verification (see
+	// audit.go). Selection is a deterministic hash of (job, task), so
+	// restarts re-arm exactly the audits that were open. 0 disables
+	// auditing; with auditing on, the score cache is fed only by
+	// audit-verified values for the selected tasks.
+	AuditRate float64
+	// Hedge enables speculative duplicate leases: a leased task past
+	// the straggler threshold (slowFactor x the fleet-mean EWMA task
+	// latency, floored at half the lease TTL) is offered once more to
+	// a different worker; the first idempotent ingest wins. Off by
+	// default — hedging trades duplicate compute for tail latency.
+	Hedge bool
 }
 
 func (o CoordinatorOptions) leaseTTL() time.Duration {
@@ -126,6 +141,15 @@ type Coordinator struct {
 	mu      sync.Mutex
 	jobs    map[string]*gridJob
 	workers map[string]*workerStats
+	// quarantined workers get 429 on every lease, heartbeat and
+	// upload; membership survives restarts via the WAL.
+	quarantined map[string]bool
+	// wal journals scheduling state (nil without Dir, or after an open
+	// failure — the grid then runs, loudly, without crash recovery).
+	wal *wal
+	// walRecs holds replayed per-job WAL records until AddJob
+	// registers the matching job and consumes them.
+	walRecs map[string][]walRecord
 	// cacheEpoch counts cache-feeding events (ingests, checkpoint
 	// restores). Each job remembers the epoch it last scanned the
 	// cache at, so the pending-task rescan in Lease runs only when
@@ -156,6 +180,12 @@ type taskState struct {
 	deadline  time.Time
 	leasedAt  time.Time // last lease grant, for the lease-latency histogram
 	recording bool      // an Ingest is journalling this task outside the lock
+
+	// Speculative duplicate lease (CoordinatorOptions.Hedge): a second
+	// worker racing the straggling primary. First ingest wins; a dead
+	// primary promotes the hedge instead of re-queueing.
+	hedgeWorker   string
+	hedgeDeadline time.Time
 }
 
 type gridJob struct {
@@ -185,6 +215,23 @@ type gridJob struct {
 	ids           []int // stable point IDs aligned with spec.Points
 	absorbedEpoch uint64
 	cacheServed   int
+
+	// Audit bookkeeping (audit.go). doneBy is maintained regardless of
+	// AuditRate — it is what the WAL replays and what a later
+	// quarantine sweeps.
+	doneBy   map[string]string      // task ID -> worker whose value is on record
+	verified map[string]bool        // task ID -> audit-confirmed
+	audits   map[string]*auditState // open audits, gate job completion
+	// tainted marks tasks whose recorded value was invalidated: the
+	// cache may still hold the bad per-point scores, so the absorb
+	// scan must not serve them back until an honest re-run overwrites.
+	tainted map[string]bool
+}
+
+// completeLocked is the job-completion predicate: every task done AND
+// every audit settled — a job with open audits may still re-queue work.
+func (j *gridJob) completeLocked() bool {
+	return j.done == len(j.order) && len(j.audits) == 0
 }
 
 // NewCoordinator returns an empty coordinator.
@@ -192,18 +239,146 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	// cacheEpoch starts at 1 so a fresh job (absorbedEpoch zero value
 	// 0) always runs its first cache scan, even before any ingest.
 	c := &Coordinator{
-		opts:       opts,
-		now:        time.Now,
-		started:    time.Now(),
-		jobs:       map[string]*gridJob{},
-		workers:    map[string]*workerStats{},
-		cacheEpoch: 1,
-		drainDone:  make(chan struct{}),
+		opts:        opts,
+		now:         time.Now,
+		started:     time.Now(),
+		jobs:        map[string]*gridJob{},
+		workers:     map[string]*workerStats{},
+		quarantined: map[string]bool{},
+		walRecs:     map[string][]walRecord{},
+		cacheEpoch:  1,
+		drainDone:   make(chan struct{}),
 	}
 	c.limiter = gridobs.NewLimiter(opts.RateLimit, opts.RateBurst)
 	c.traces = newTraceCollector(opts.Dir, opts.Logf)
 	c.metrics = newGridMetrics(c)
+	if opts.Dir != "" {
+		w, recs, skipped, err := openWAL(opts.Dir)
+		if err != nil {
+			// Run without crash recovery rather than not at all — but
+			// say so every startup, loudly.
+			c.logf("grid: WAL unavailable, coordinator runs WITHOUT crash recovery: %v", err)
+		} else {
+			c.wal = w
+			c.replayWAL(recs)
+			if len(recs) > 0 || skipped > 0 {
+				c.logf("grid: wal: replayed %d records (%d corrupt lines skipped)", len(recs), skipped)
+			}
+			c.metrics.walReplayed.Set(float64(len(recs)))
+		}
+	}
 	return c
+}
+
+// replayWAL applies the global (worker-level) effect of every record
+// at construction time and stashes job-level records for AddJob to
+// consume when the matching job registers. Runs before the coordinator
+// is published, so no lock is needed (the *Locked helpers it calls
+// only assert state, not the mutex).
+func (c *Coordinator) replayWAL(recs []walRecord) {
+	for _, r := range recs {
+		switch r.T {
+		case walQuarantine:
+			c.quarantined[r.Worker] = true
+			continue
+		case walLease:
+			if ws := c.touchWorkerLocked(r.Worker); ws != nil {
+				ws.leased++
+			}
+		case walExpire:
+			c.workerFailedLocked(r.Worker)
+		case walIngest, walVerify:
+			c.workerDoneLocked(r.Worker, time.Duration(r.ElapsedMS)*time.Millisecond)
+		case walHedge:
+			// Informational: hedges re-arm live if still warranted.
+			continue
+		}
+		if r.Job != "" {
+			c.walRecs[r.Job] = append(c.walRecs[r.Job], r)
+		}
+	}
+	if n := len(c.quarantined); n > 0 {
+		c.metrics.quarantines.Add(float64(n))
+	}
+}
+
+// walAppendLocked journals records, logging (never failing the caller)
+// on write trouble: the WAL losing a record degrades a future restart,
+// not the current run. sync is reserved for verdict-grade records.
+func (c *Coordinator) walAppendLocked(sync bool, recs ...walRecord) {
+	if c.wal == nil || len(recs) == 0 {
+		return
+	}
+	if err := c.wal.append(sync, recs...); err != nil {
+		c.logf("grid: %v", err)
+		return
+	}
+	c.metrics.walRecords.Add(float64(len(recs)))
+}
+
+// applyWALLocked replays j's stashed WAL records onto its freshly
+// restored task table: checkpoint restore has already marked done
+// tasks (values are the checkpoint's job), so this pass rebuilds the
+// scheduler's view — outstanding leases (re-armed with a fresh TTL
+// from *this* coordinator's clock), fair-share deficits, requeue
+// counts, priority, producer attribution and audit verdicts.
+func (c *Coordinator) applyWALLocked(j *gridJob) {
+	recs := c.walRecs[j.id]
+	if len(recs) == 0 {
+		return
+	}
+	delete(c.walRecs, j.id)
+	now := c.now()
+	deadline := now.Add(c.opts.leaseTTL())
+	for _, r := range recs {
+		st := j.tasks[r.Task]
+		switch r.T {
+		case walPriority:
+			if r.Weight >= 1 {
+				j.weight = r.Weight
+			}
+		case walLease:
+			j.leasesGranted++
+			if st != nil && st.status == taskPending && !c.quarantined[r.Worker] {
+				st.status = taskLeased
+				st.worker = r.Worker
+				st.leasedAt = now
+				st.deadline = deadline
+			}
+		case walExpire:
+			j.requeues++
+			if st != nil && st.status == taskLeased && st.worker == r.Worker {
+				st.status = taskPending
+				st.worker = ""
+			}
+		case walIngest:
+			if st == nil {
+				continue
+			}
+			if st.status == taskDone {
+				j.doneBy[r.Task] = r.Worker
+			} else if st.status == taskLeased && st.worker == r.Worker {
+				// The WAL saw the ingest but the checkpoint lost the
+				// value (should not happen: Record syncs first). The
+				// value is gone, so the task must re-run.
+				st.status = taskPending
+				st.worker = ""
+			}
+		case walVerify:
+			if st != nil && st.status == taskDone {
+				j.verified[r.Task] = true
+			}
+		}
+	}
+	c.logf("grid: job %s: wal replay applied %d records (priority %d, %d leases outstanding re-armed)",
+		j.id, len(recs), j.weight, func() (n int) {
+			for _, st := range j.tasks {
+				if st.status == taskLeased {
+					n++
+				}
+			}
+			return
+		}())
 }
 
 // Metrics exposes the coordinator's registry — what GET /metrics
@@ -271,6 +446,7 @@ func (c *Coordinator) AddJobPriority(spec job.Spec, priority int) (string, error
 	if j, ok := c.jobs[id]; ok {
 		if j.weight != priority {
 			j.weight = priority
+			c.walAppendLocked(false, walRecord{T: walPriority, Job: id, Weight: priority})
 			c.mu.Unlock()
 			c.logf("grid: job %s priority set to %d", id, priority)
 			return id, nil
@@ -279,13 +455,17 @@ func (c *Coordinator) AddJobPriority(spec job.Spec, priority int) (string, error
 		return id, nil
 	}
 	j := &gridJob{
-		id:      id,
-		spec:    spec,
-		specRaw: specRaw,
-		weight:  priority,
-		tasks:   map[string]*taskState{},
-		results: map[string][]float64{},
-		changed: make(chan struct{}),
+		id:       id,
+		spec:     spec,
+		specRaw:  specRaw,
+		weight:   priority,
+		tasks:    map[string]*taskState{},
+		results:  map[string][]float64{},
+		doneBy:   map[string]string{},
+		verified: map[string]bool{},
+		audits:   map[string]*auditState{},
+		tainted:  map[string]bool{},
+		changed:  make(chan struct{}),
 	}
 	for _, t := range spec.Tasks() {
 		j.order = append(j.order, t.ID())
@@ -321,6 +501,28 @@ func (c *Coordinator) AddJobPriority(spec job.Spec, priority int) (string, error
 			st.status = taskDone
 			j.results[tid] = vals
 			j.done++
+		}
+	}
+	// WAL replay must see the restored task table (it re-arms leases
+	// only on still-pending tasks) and must run before the cache feed
+	// (it supplies the verified set and producer attribution the feed
+	// policy consults).
+	c.applyWALLocked(j)
+	if c.opts.Dir != "" {
+		for tid, vals := range j.results {
+			st := j.tasks[tid]
+			if c.quarantined[j.doneBy[tid]] && !j.verified[tid] {
+				// A quarantine raced the crash: the on-disk expunge of
+				// this liar's results did not finish. Finish it.
+				c.invalidateTaskLocked(j, tid)
+				continue
+			}
+			if c.auditEnabled() && !j.verified[tid] && auditSelected(j.id, tid, c.opts.AuditRate) {
+				// Re-arm the audit instead of feeding the cache: with
+				// auditing on, selected values feed only once verified.
+				c.openAuditLocked(j, st.task, j.doneBy[tid])
+				continue
+			}
 			c.feedCacheLocked(j, st.task, vals)
 		}
 	}
@@ -383,7 +585,9 @@ func (c *Coordinator) collectCacheHitsLocked(j *gridJob) []absorbedTask {
 	var hits []absorbedTask
 	for _, tid := range j.order {
 		st := j.tasks[tid]
-		if st.status == taskDone || st.recording {
+		// A tainted task's cached per-point scores may be the very lie
+		// that was just invalidated — only an honest re-compute clears it.
+		if st.status == taskDone || st.recording || j.tainted[tid] {
 			continue
 		}
 		t := st.task
@@ -463,7 +667,7 @@ func (c *Coordinator) absorbCache(j *gridJob) {
 	c.checkDrainedLocked()
 }
 
-// Close releases every job's checkpoint handle.
+// Close releases every job's checkpoint handle and the WAL.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -476,6 +680,12 @@ func (c *Coordinator) Close() error {
 			j.cp = nil
 		}
 	}
+	if c.wal != nil {
+		if err := c.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.wal = nil
+	}
 	if err := c.traces.Close(); err != nil && first == nil {
 		first = err
 	}
@@ -486,6 +696,7 @@ var (
 	errUnknownJob  = errors.New("grid: unknown job")
 	errUnknownTask = errors.New("grid: unknown task")
 	errDraining    = errors.New("grid: coordinator is draining")
+	errQuarantined = errors.New("grid: worker is quarantined")
 )
 
 func (c *Coordinator) getJob(id string) (*gridJob, error) {
@@ -497,21 +708,44 @@ func (c *Coordinator) getJob(id string) (*gridJob, error) {
 }
 
 // expireLocked requeues every lease whose deadline has passed, scoring
-// the expiry against the worker that went silent. Expiry is lazy: it
-// runs at the top of every API call that looks at task state, which is
-// the only time staleness could matter (plus the drain loop's ticks).
+// the expiry against the worker that went silent. A task with a live
+// hedge promotes the hedge to primary instead of re-queueing (the
+// expiry still counts). Expiry is lazy: it runs at the top of every
+// API call that looks at task state, which is the only time staleness
+// could matter (plus the drain loop's ticks).
 func (c *Coordinator) expireLocked(j *gridJob) {
 	now := c.now()
 	expired := 0
-	for _, st := range j.tasks {
-		if st.status == taskLeased && st.deadline.Before(now) {
-			st.status = taskPending
-			c.workerFailedLocked(st.worker)
-			st.worker = ""
-			j.requeues++
-			expired++
+	for tid, st := range j.tasks {
+		if st.status != taskLeased {
+			continue
 		}
+		// A dead hedge clears quietly: the primary still owns the task.
+		if st.hedgeWorker != "" && st.hedgeDeadline.Before(now) {
+			c.workerFailedLocked(st.hedgeWorker)
+			st.hedgeWorker = ""
+			st.hedgeDeadline = time.Time{}
+		}
+		if !st.deadline.Before(now) {
+			continue
+		}
+		c.workerFailedLocked(st.worker)
+		c.walAppendLocked(false, walRecord{T: walExpire, Job: j.id, Task: tid, Worker: st.worker})
+		j.requeues++
+		expired++
+		if st.hedgeWorker != "" {
+			// Promote the live hedge: the task never goes back in the
+			// queue, the racer simply becomes the owner.
+			st.worker, st.deadline = st.hedgeWorker, st.hedgeDeadline
+			st.hedgeWorker, st.hedgeDeadline = "", time.Time{}
+			j.leasesGranted++
+			c.walAppendLocked(false, walRecord{T: walLease, Job: j.id, Task: tid, Worker: st.worker})
+			continue
+		}
+		st.status = taskPending
+		st.worker = ""
 	}
+	c.auditExpireLocked(j, now)
 	if expired > 0 {
 		c.metrics.requeues.Add(float64(expired))
 		c.logf("grid: job %s: %d leases expired, tasks re-queued", j.id, expired)
@@ -526,9 +760,10 @@ func (c *Coordinator) broadcastLocked(j *gridJob) {
 }
 
 // finishIfCompleteLocked assembles the scores once the last task is
-// done. Assembly runs exactly once; its result (or error) is cached.
+// done and the last audit settled. Assembly runs once per completion;
+// an invalidation (quarantine) clears the cached result and reopens it.
 func (c *Coordinator) finishIfCompleteLocked(j *gridJob) {
-	if j.done < len(j.order) || j.scores != nil || j.scoresErr != nil {
+	if !j.completeLocked() || j.scores != nil || j.scoresErr != nil {
 		return
 	}
 	j.scores, j.scoresErr = j.spec.AssembleScores(j.results)
@@ -540,9 +775,15 @@ func (c *Coordinator) finishIfCompleteLocked(j *gridJob) {
 	c.broadcastLocked(j)
 }
 
-// grantLocked hands out up to max pending tasks of j to worker,
-// shaping max by the worker's score first.
+// grantLocked hands out up to max tasks of j to worker, shaping max by
+// the worker's score first. Grant order: audit re-leases (a few
+// re-checks catch a liar before it poisons more), then pending tasks,
+// then — with hedging on and capacity to spare — speculative
+// duplicates of straggling leases.
 func (c *Coordinator) grantLocked(j *gridJob, worker string, max int) []LeaseTask {
+	if c.quarantined[worker] {
+		return nil
+	}
 	if max <= 0 || max > c.opts.maxLease() {
 		max = c.opts.maxLease()
 	}
@@ -550,7 +791,8 @@ func (c *Coordinator) grantLocked(j *gridJob, worker string, max int) []LeaseTas
 	ttl := c.opts.leaseTTL()
 	now := c.now()
 	deadline := now.Add(ttl)
-	var tasks []LeaseTask
+	tasks := c.grantAuditsLocked(j, worker, max, now, deadline)
+	granted := len(tasks) // audit + pending grants: what the deficit counts
 	for _, tid := range j.order {
 		if len(tasks) == max {
 			break
@@ -567,13 +809,18 @@ func (c *Coordinator) grantLocked(j *gridJob, worker string, max int) []LeaseTas
 			Task: tid, Measure: st.task.Measure, Lo: st.task.Lo, Hi: st.task.Hi,
 			TTLMS: ttl.Milliseconds(),
 		})
+		granted++
+		c.walAppendLocked(false, walRecord{T: walLease, Job: j.id, Task: tid, Worker: worker})
+	}
+	if c.opts.Hedge && len(tasks) < max {
+		tasks = append(tasks, c.grantHedgesLocked(j, worker, max-len(tasks), now, deadline)...)
 	}
 	if len(tasks) > 0 {
 		if j.startedAt.IsZero() {
 			j.startedAt = now
 		}
-		j.leasesGranted += len(tasks)
-		c.metrics.leasesGranted.Add(float64(len(tasks)))
+		j.leasesGranted += granted
+		c.metrics.leasesGranted.Add(float64(granted))
 		if ws := c.touchWorkerLocked(worker); ws != nil {
 			ws.leased += len(tasks)
 		}
@@ -602,16 +849,19 @@ func (c *Coordinator) Lease(ctx context.Context, id, worker string, max int) (Le
 	c.absorbCache(j)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.quarantined[worker] {
+		return LeaseResponse{}, fmt.Errorf("%w: %s", errQuarantined, worker)
+	}
 	c.expireLocked(j)
 	var resp LeaseResponse
 	if c.draining {
 		c.touchWorkerLocked(worker)
 		resp.Draining = true
-		resp.Complete = j.done == len(j.order)
+		resp.Complete = j.completeLocked()
 		return resp, nil
 	}
 	resp.Tasks = c.grantLocked(j, worker, max)
-	resp.Complete = j.done == len(j.order)
+	resp.Complete = j.completeLocked()
 	if len(resp.Tasks) > 0 {
 		c.logfCtx(ctx, "grid: job %s: leased %d tasks to %s", j.id, len(resp.Tasks), worker)
 	}
@@ -639,6 +889,9 @@ func (c *Coordinator) LeaseAny(ctx context.Context, worker string, max int) (Glo
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.quarantined[worker] {
+		return GlobalLeaseResponse{}, fmt.Errorf("%w: %s", errQuarantined, worker)
+	}
 	var resp GlobalLeaseResponse
 	if c.draining {
 		c.touchWorkerLocked(worker)
@@ -662,13 +915,13 @@ func (c *Coordinator) LeaseAny(ctx context.Context, worker string, max int) (Glo
 }
 
 // allCompleteLocked reports whether at least one job exists and every
-// job's tasks are done.
+// job is complete (tasks done, audits settled).
 func (c *Coordinator) allCompleteLocked() bool {
 	if len(c.jobs) == 0 {
 		return false
 	}
 	for _, j := range c.jobs {
-		if j.done < len(j.order) {
+		if !j.completeLocked() {
 			return false
 		}
 	}
@@ -684,16 +937,25 @@ func (c *Coordinator) Heartbeat(ctx context.Context, id string, req HeartbeatReq
 	if err != nil {
 		return HeartbeatResponse{}, err
 	}
+	if c.quarantined[req.Worker] {
+		return HeartbeatResponse{}, fmt.Errorf("%w: %s", errQuarantined, req.Worker)
+	}
 	c.expireLocked(j)
 	c.touchWorkerLocked(req.Worker)
 	deadline := c.now().Add(c.opts.leaseTTL())
 	var resp HeartbeatResponse
 	for _, tid := range req.Tasks {
 		st, ok := j.tasks[tid]
-		if ok && st.status == taskLeased && st.worker == req.Worker {
+		switch {
+		case ok && st.status == taskLeased && st.worker == req.Worker:
 			st.deadline = deadline
 			resp.Renewed = append(resp.Renewed, tid)
-		} else {
+		case ok && st.status == taskLeased && st.hedgeWorker == req.Worker:
+			st.hedgeDeadline = deadline
+			resp.Renewed = append(resp.Renewed, tid)
+		case ok && c.auditRenewLocked(j, tid, req.Worker, deadline):
+			resp.Renewed = append(resp.Renewed, tid)
+		default:
 			resp.Lost = append(resp.Lost, tid)
 		}
 	}
@@ -717,6 +979,10 @@ func (c *Coordinator) Ingest(ctx context.Context, id string, up ResultUpload) (R
 		c.mu.Unlock()
 		return ResultAck{}, err
 	}
+	if c.quarantined[up.Worker] {
+		c.mu.Unlock()
+		return ResultAck{}, fmt.Errorf("%w: %s", errQuarantined, up.Worker)
+	}
 	st, ok := j.tasks[up.Task]
 	if !ok {
 		c.mu.Unlock()
@@ -726,6 +992,17 @@ func (c *Coordinator) Ingest(ctx context.Context, id string, up ResultUpload) (R
 		c.mu.Unlock()
 		return ResultAck{}, fmt.Errorf("grid: task %s upload has %d values, want %d",
 			up.Task, len(up.Values), st.task.Hi-st.task.Lo)
+	}
+	if st.status == taskDone && c.auditEnabled() && !st.recording {
+		// Under the audit regime a second upload for a done task is
+		// evidence, not noise: it either verifies the record or opens a
+		// dispute. Any checkpoint invalidations run after unlock.
+		ack, after := c.auditIngestLocked(j, st, up)
+		c.mu.Unlock()
+		if after != nil {
+			after()
+		}
+		return ack, nil
 	}
 	if st.status == taskDone || st.recording {
 		c.metrics.duplicates.Inc()
@@ -764,16 +1041,37 @@ func (c *Coordinator) Ingest(ctx context.Context, id string, up ResultUpload) (R
 		return ResultAck{}, recErr
 	}
 	st.status = taskDone
+	if st.hedgeWorker != "" {
+		// The losing racer's lease dissolves without a verdict: its
+		// leased count drops, but no failure is scored — it was asked
+		// to race and simply lost.
+		loser := st.hedgeWorker
+		if up.Worker == loser {
+			loser = st.worker
+		}
+		if ws := c.workers[loser]; ws != nil && ws.leased > 0 {
+			ws.leased--
+		}
+		st.hedgeWorker, st.hedgeDeadline = "", time.Time{}
+	}
 	st.worker = ""
 	j.results[up.Task] = []float64(up.Values)
+	j.doneBy[up.Task] = up.Worker
 	j.done++
 	c.workerDoneLocked(up.Worker, time.Duration(up.ElapsedMS)*time.Millisecond)
+	c.walAppendLocked(false, walRecord{T: walIngest, Job: j.id, Task: up.Task, Worker: up.Worker, ElapsedMS: up.ElapsedMS})
 	c.metrics.tasksIngested.Inc()
 	c.metrics.valuesIngested.Add(float64(len(up.Values)))
 	if leaseLatency > 0 {
 		c.metrics.leaseLatency.Observe(leaseLatency.Seconds())
 	}
-	c.feedCacheLocked(j, st.task, []float64(up.Values))
+	if c.auditEnabled() && up.Worker != "" && auditSelected(j.id, up.Task, c.opts.AuditRate) {
+		// Selected tasks feed the cache only once audit-verified.
+		c.openAuditLocked(j, st.task, up.Worker)
+	} else {
+		delete(j.tainted, up.Task)
+		c.feedCacheLocked(j, st.task, []float64(up.Values))
+	}
 	c.finishIfCompleteLocked(j)
 	c.broadcastLocked(j)
 	c.checkDrainedLocked()
@@ -909,7 +1207,8 @@ func (c *Coordinator) snapshotLocked(j *gridJob) ProgressSnapshot {
 		}
 	}
 	snap.Workers = len(workers)
-	snap.Complete = j.done == snap.Total
+	snap.Audits = len(j.audits)
+	snap.Complete = j.completeLocked()
 	return snap
 }
 
@@ -922,7 +1221,7 @@ func (c *Coordinator) Scores(id string) (s *dsa.Scores, ok bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
-	if j.done < len(j.order) {
+	if !j.completeLocked() {
 		return nil, false, nil
 	}
 	return j.scores, true, j.scoresErr
@@ -938,7 +1237,7 @@ func (c *Coordinator) WaitComplete(ctx context.Context, id string) (*dsa.Scores,
 			c.mu.Unlock()
 			return nil, err
 		}
-		if j.done == len(j.order) {
+		if j.completeLocked() {
 			s, serr := j.scores, j.scoresErr
 			c.mu.Unlock()
 			return s, serr
@@ -970,7 +1269,7 @@ func (c *Coordinator) summaryLocked(j *gridJob) JobSummary {
 		ID: j.id, Domain: j.spec.Domain.Name(),
 		TotalTasks: len(j.order), DoneTasks: j.done,
 		Priority: j.weight,
-		Complete: j.done == len(j.order),
+		Complete: j.completeLocked(),
 	}
 }
 
@@ -1176,21 +1475,48 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, errDraining):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, errQuarantined):
+		// 429 like the rate limiter, but with the quarantine marker so
+		// clients know retrying is pointless; the long Retry-After tells
+		// generic HTTP clients the same thing.
+		w.Header().Set("Retry-After", "3600")
+		w.Header().Set(HeaderQuarantined, "1")
+		status = http.StatusTooManyRequests
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
 // readBody decodes a JSON request body, bounded by MaxBody: oversized
 // bodies answer 413, malformed ones 400 — always as structured JSON.
+// A request carrying the body-checksum header is verified first; a
+// mismatch is transport corruption (the client signed what it meant to
+// send), answered 400 with the corrupt-body marker so the client
+// retries instead of treating it as a protocol error — and so a
+// corrupted result upload is rejected here rather than recorded and
+// later mistaken for a Byzantine worker.
 func (c *Coordinator) readBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	body := http.MaxBytesReader(w, r.Body, c.opts.maxBody())
-	if err := json.NewDecoder(body).Decode(v); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.opts.maxBody()))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge,
 				errorBody{Error: fmt.Sprintf("grid: request body exceeds %d bytes", tooBig.Limit)})
 			return false
 		}
+		writeError(w, fmt.Errorf("grid: bad request body: %w", err))
+		return false
+	}
+	if want := r.Header.Get(HeaderBodySHA256); want != "" {
+		sum := sha256.Sum256(body)
+		if !strings.EqualFold(hex.EncodeToString(sum[:]), want) {
+			c.metrics.corruptBodies.Inc()
+			w.Header().Set(HeaderCorruptBody, "1")
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: "grid: request body checksum mismatch (corrupted in transit)"})
+			return false
+		}
+	}
+	if err := json.Unmarshal(body, v); err != nil {
 		writeError(w, fmt.Errorf("grid: bad request body: %w", err))
 		return false
 	}

@@ -73,20 +73,22 @@ type dashboardJob struct {
 	Requeues int
 	Cached   int
 	Granted  int
+	Audits   int
 	Percent  float64
 	ETA      string
 	Complete bool
 }
 
 type dashboardWorker struct {
-	Name     string
-	Live     bool
-	Leased   int
-	Done     uint64
-	Failures uint64
-	Latency  string
-	FailRate string
-	LastSeen string
+	Name        string
+	Live        bool
+	Quarantined bool
+	Leased      int
+	Done        uint64
+	Failures    uint64
+	Latency     string
+	FailRate    string
+	LastSeen    string
 }
 
 func (c *Coordinator) handleDashboard(w http.ResponseWriter, r *http.Request) {
@@ -112,7 +114,7 @@ func (c *Coordinator) handleDashboard(w http.ResponseWriter, r *http.Request) {
 			ID: id, Domain: j.spec.Domain.Name(), Priority: j.weight,
 			Done: snap.Done, Total: snap.Total, Pending: snap.Pending,
 			Leased: snap.Leased, Requeues: snap.Requeues, Cached: snap.CacheTasks,
-			Granted: snap.LeasesGranted, Complete: snap.Complete,
+			Granted: snap.LeasesGranted, Audits: snap.Audits, Complete: snap.Complete,
 		}
 		if snap.Total > 0 {
 			dj.Percent = 100 * float64(snap.Done) / float64(snap.Total)
@@ -131,13 +133,28 @@ func (c *Coordinator) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	for name := range c.workers {
 		names = append(names, name)
 	}
+	// Quarantined workers the coordinator never heard from this run
+	// (verdict replayed from the WAL) still get a row — an operator
+	// must be able to see every standing ban.
+	for name := range c.quarantined {
+		if _, ok := c.workers[name]; !ok {
+			names = append(names, name)
+		}
+	}
 	sort.Strings(names)
 	cutoff := now.Add(-livenessTTLs * c.opts.leaseTTL())
 	for _, name := range names {
 		ws := c.workers[name]
+		if ws == nil {
+			data.Workers = append(data.Workers, dashboardWorker{
+				Name: name, Quarantined: true, Latency: "—", FailRate: "—", LastSeen: "—",
+			})
+			continue
+		}
 		dw := dashboardWorker{
 			Name: name, Live: ws.lastSeen.After(cutoff), Leased: ws.leased,
-			Done: ws.done, Failures: ws.failures,
+			Quarantined: c.quarantined[name],
+			Done:        ws.done, Failures: ws.failures,
 			LastSeen: now.Sub(ws.lastSeen).Round(time.Second).String() + " ago",
 		}
 		if ws.latEWMA > 0 {
@@ -244,6 +261,7 @@ th { background: #f0f0f0; }
 .done .bar > i { background: #3cab5a; }
 .pill { padding: .1rem .5rem; border-radius: 999px; font-size: .8rem; }
 .live { background: #d9f2e0; color: #1e7a3c; } .dead { background: #f7d9d9; color: #9b2c2c; }
+.quarantined { background: #2b2b2b; color: #ffb3b3; }
 .drain { background: #fff3cd; border: 1px solid #e6cf7a; padding: .6rem 1rem; border-radius: 4px; margin: 1rem 0; }
 .meta { color: #666; font-size: .85rem; }
 </style>
@@ -256,12 +274,12 @@ th { background: #f0f0f0; }
 <h2>Jobs</h2>
 {{if .Jobs}}
 <table>
-<tr><th>job</th><th>domain</th><th>priority</th><th>progress</th><th>done</th><th>pending</th><th>leased</th><th>requeues</th><th>cache-served</th><th>granted</th><th>ETA</th></tr>
+<tr><th>job</th><th>domain</th><th>priority</th><th>progress</th><th>done</th><th>pending</th><th>leased</th><th>requeues</th><th>cache-served</th><th>granted</th><th>audits</th><th>ETA</th></tr>
 {{range .Jobs}}
 <tr{{if .Complete}} class="done"{{end}}>
 <td><code>{{.ID}}</code></td><td>{{.Domain}}</td><td>{{.Priority}}</td>
 <td><span class="bar"><i style="width:{{printf "%.1f" .Percent}}%"></i></span> {{printf "%.1f" .Percent}}%</td>
-<td>{{.Done}}/{{.Total}}</td><td>{{.Pending}}</td><td>{{.Leased}}</td><td>{{.Requeues}}</td><td>{{.Cached}}</td><td>{{.Granted}}</td><td>{{.ETA}}</td>
+<td>{{.Done}}/{{.Total}}</td><td>{{.Pending}}</td><td>{{.Leased}}</td><td>{{.Requeues}}</td><td>{{.Cached}}</td><td>{{.Granted}}</td><td>{{.Audits}}</td><td>{{.ETA}}</td>
 </tr>
 {{end}}
 </table>
@@ -274,7 +292,7 @@ th { background: #f0f0f0; }
 {{range .Workers}}
 <tr>
 <td><code>{{.Name}}</code></td>
-<td>{{if .Live}}<span class="pill live">live</span>{{else}}<span class="pill dead">gone</span>{{end}}</td>
+<td>{{if .Quarantined}}<span class="pill quarantined">quarantined</span>{{else if .Live}}<span class="pill live">live</span>{{else}}<span class="pill dead">gone</span>{{end}}</td>
 <td>{{.Leased}}</td><td>{{.Done}}</td><td>{{.Failures}}</td><td>{{.Latency}}</td><td>{{.FailRate}}</td><td>{{.LastSeen}}</td>
 </tr>
 {{end}}

@@ -63,7 +63,10 @@ package grid
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -241,11 +244,12 @@ type ProgressSnapshot struct {
 	Done          int    `json:"done_tasks"`
 	Leased        int    `json:"leased_tasks"`
 	Pending       int    `json:"pending_tasks"`
-	Requeues      int    `json:"requeues"`       // leases that expired back to pending
-	Workers       int    `json:"workers"`        // workers holding a live lease
-	CacheTasks    int    `json:"cache_tasks"`    // tasks served from the score cache, never dispatched
-	LeasesGranted int    `json:"leases_granted"` // tasks handed out on leases, re-leases included
-	Priority      int    `json:"priority"`       // fair-share weight
+	Requeues      int    `json:"requeues"`         // leases that expired back to pending
+	Workers       int    `json:"workers"`          // workers holding a live lease
+	CacheTasks    int    `json:"cache_tasks"`      // tasks served from the score cache, never dispatched
+	LeasesGranted int    `json:"leases_granted"`   // tasks handed out on leases, re-leases included
+	Priority      int    `json:"priority"`         // fair-share weight
+	Audits        int    `json:"audits,omitempty"` // open result audits still gating completion
 	Complete      bool   `json:"complete"`
 }
 
@@ -261,6 +265,27 @@ type CacheStatsResponse struct {
 type errorBody struct {
 	Error string `json:"error"`
 }
+
+// Wire headers for the Byzantine-tolerance plumbing.
+const (
+	// HeaderBodySHA256 carries the lowercase hex SHA-256 of the request
+	// body. The coordinator verifies it before decoding, so a body
+	// corrupted in transit is rejected (400 + HeaderCorruptBody) and
+	// resent — instead of being recorded and later mistaken for a
+	// Byzantine result when an audit re-computes the task.
+	HeaderBodySHA256 = "X-Body-Sha256"
+	// HeaderCorruptBody marks a 400 as transport corruption: the request
+	// as sent was fine, resending it is the fix.
+	HeaderCorruptBody = "X-Grid-Corrupt-Body"
+	// HeaderQuarantined marks a 429 as a quarantine verdict rather than
+	// rate limiting: retrying is pointless, the worker should exit.
+	HeaderQuarantined = "X-Grid-Quarantined"
+)
+
+// ErrWorkerQuarantined surfaces a quarantine verdict to client callers
+// (errors.Is-able): the coordinator refuses this worker's leases,
+// heartbeats and uploads, permanently.
+var ErrWorkerQuarantined = errors.New("grid: worker quarantined by coordinator")
 
 // --- HTTP client helpers, shared by the worker, the facade and
 // dsa-report's -coordinator mode. ---
@@ -293,6 +318,11 @@ const (
 	// the retries across the window.
 	clientAttempts  = 4
 	clientRetryBase = 250 * time.Millisecond
+
+	// maxRetryAfter caps how long a server-sent Retry-After can stall a
+	// retry loop: a coordinator asking for an hour (quarantine) should
+	// surface as an error via the attempt budget, not a silent hour.
+	maxRetryAfter = 30 * time.Second
 )
 
 // retryDelay computes the sleep before retry attempt n (n >= 1): full
@@ -390,14 +420,24 @@ func doJSONInfo(ctx context.Context, client *http.Client, method, url string, in
 		info.requestID = rid
 	}
 	var lastErr error
+	var serverPause time.Duration
 	for attempt := 0; attempt < clientAttempts; attempt++ {
 		if attempt > 0 {
+			// When the server named a pause (Retry-After on 429/503),
+			// honor it exactly: jittering under it would retry into the
+			// same closed window, padding past it wastes the fleet's
+			// time. Otherwise: full jitter over the exponential ceiling.
+			delay := retryDelay(attempt)
+			if serverPause > 0 {
+				delay = serverPause
+			}
 			select {
-			case <-time.After(retryDelay(attempt)):
+			case <-time.After(delay):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
 		}
+		serverPause = 0
 		if info != nil {
 			info.attempts = attempt + 1
 		}
@@ -411,6 +451,8 @@ func doJSONInfo(ctx context.Context, client *http.Client, method, url string, in
 		}
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
+			sum := sha256.Sum256(body)
+			req.Header.Set(HeaderBodySHA256, hex.EncodeToString(sum[:]))
 		}
 		req.Header.Set(gridobs.RequestIDHeader, rid)
 		if attempt > 0 {
@@ -424,7 +466,7 @@ func doJSONInfo(ctx context.Context, client *http.Client, method, url string, in
 			lastErr = err // transport error (refused, reset, timeout): retry
 			continue
 		}
-		retryable, err := decodeResponse(resp, url, out)
+		retryable, retryAfter, err := decodeResponse(resp, url, out)
 		resp.Body.Close()
 		if err == nil {
 			return nil
@@ -432,35 +474,51 @@ func doJSONInfo(ctx context.Context, client *http.Client, method, url string, in
 		if !retryable {
 			return err
 		}
+		if retryAfter > maxRetryAfter {
+			retryAfter = maxRetryAfter
+		}
+		serverPause = retryAfter
 		lastErr = err
 	}
 	return fmt.Errorf("grid: %s: giving up after %d attempts: %w", url, clientAttempts, lastErr)
 }
 
 // decodeResponse reads and decodes one response, classifying failures:
-// 5xx, 429 (rate limited — the jittered backoff is exactly the pacing
-// the limiter asks for) and body-read errors are transient (retryable);
-// other 4xx and malformed-success bodies are not.
-func decodeResponse(resp *http.Response, url string, out any) (retryable bool, err error) {
+// 5xx, 429 (rate limited), and checksum-rejected bodies (transport
+// corruption — resending re-rolls the dice) are transient (retryable),
+// with any Retry-After seconds the server sent passed back as the
+// pacing to honor; a quarantine-marked 429 is a verdict, surfaced as
+// ErrWorkerQuarantined and never retried; other 4xx and
+// malformed-success bodies are not retryable either.
+func decodeResponse(resp *http.Response, url string, out any) (retryable bool, retryAfter time.Duration, err error) {
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return true, fmt.Errorf("grid: read %s: %w", url, err)
+		return true, 0, fmt.Errorf("grid: read %s: %w", url, err)
 	}
 	if resp.StatusCode/100 != 2 {
-		retryable = resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		if resp.Header.Get(HeaderQuarantined) != "" {
+			return false, 0, fmt.Errorf("%w (%s, HTTP %d)", ErrWorkerQuarantined, url, resp.StatusCode)
+		}
+		retryable = resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests ||
+			(resp.StatusCode == http.StatusBadRequest && resp.Header.Get(HeaderCorruptBody) != "")
+		if retryable {
+			if s, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && s > 0 {
+				retryAfter = time.Duration(s) * time.Second
+			}
+		}
 		var eb errorBody
 		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
-			return retryable, fmt.Errorf("grid: %s: %s (HTTP %d)", url, eb.Error, resp.StatusCode)
+			return retryable, retryAfter, fmt.Errorf("grid: %s: %s (HTTP %d)", url, eb.Error, resp.StatusCode)
 		}
-		return retryable, fmt.Errorf("grid: %s: HTTP %d", url, resp.StatusCode)
+		return retryable, retryAfter, fmt.Errorf("grid: %s: HTTP %d", url, resp.StatusCode)
 	}
 	if out == nil {
-		return false, nil
+		return false, 0, nil
 	}
 	if err := json.Unmarshal(raw, out); err != nil {
-		return false, fmt.Errorf("grid: decode %s: %w", url, err)
+		return false, 0, fmt.Errorf("grid: decode %s: %w", url, err)
 	}
-	return false, nil
+	return false, 0, nil
 }
 
 func apiURL(base string, parts ...string) string {

@@ -29,6 +29,19 @@ type gridMetrics struct {
 	leaseLatency   *gridobs.Histogram
 	httpDuration   *gridobs.Histogram
 
+	// Byzantine-tolerance instruments (audit.go) and crash-recovery
+	// bookkeeping (wal.go).
+	auditsOpened    *gridobs.Counter
+	auditsPassed    *gridobs.Counter
+	auditMismatches *gridobs.Counter
+	invalidated     *gridobs.Counter
+	quarantines     *gridobs.Counter
+	corruptBodies   *gridobs.Counter
+	leaseHedged     *gridobs.Counter
+	walRecords      *gridobs.Counter
+	walReplayed     *gridobs.Gauge
+	quarantinedVec  *gridobs.GaugeVec // worker
+
 	// Trace-ingest counters: the fleet observability plane's own
 	// health (POST /v1/trace volume and dedup effectiveness).
 	traceUploads  *gridobs.Counter
@@ -83,6 +96,17 @@ func newGridMetrics(c *Coordinator) *gridMetrics {
 			"Per-task lease latency: lease grant to result ingest.", gridobs.DefBuckets),
 		httpDuration: r.NewHistogram("grid_http_request_duration_seconds",
 			"HTTP request handling time.", gridobs.DefBuckets),
+
+		auditsOpened:    r.NewCounter("grid_audits_opened_total", "Completed tasks silently re-leased for verification."),
+		auditsPassed:    r.NewCounter("grid_audits_passed_total", "Audits settled with the recorded value confirmed."),
+		auditMismatches: r.NewCounter("grid_audit_mismatches_total", "Uploads that contradicted a recorded value."),
+		invalidated:     r.NewCounter("grid_tasks_invalidated_total", "Done tasks whose recorded value was discarded and re-queued."),
+		quarantines:     r.NewCounter("grid_quarantines_total", "Workers quarantined (audit verdicts, operator requests and WAL replays)."),
+		corruptBodies:   r.NewCounter("grid_corrupt_bodies_total", "Request bodies rejected for a checksum mismatch (transport corruption)."),
+		leaseHedged:     r.NewCounter("grid_lease_hedged_total", "Speculative duplicate leases granted against straggling primaries."),
+		walRecords:      r.NewCounter("grid_wal_records_total", "Scheduling records appended to the coordinator WAL."),
+		walReplayed:     r.NewGauge("grid_wal_replayed_records", "WAL records replayed at the last coordinator startup."),
+		quarantinedVec:  r.NewGaugeVec("grid_worker_quarantined", "1 while the worker is quarantined.", "worker"),
 
 		traceUploads:  r.NewCounter("grid_trace_uploads_total", "Trace chunk uploads accepted (including empty stats probes)."),
 		traceBytes:    r.NewCounter("grid_trace_bytes_total", "Journal bytes appended to collected traces (post-dedup)."),
@@ -161,6 +185,11 @@ func (c *Coordinator) collectGauges(m *gridMetrics) {
 		m.workerFailure.With(name).Set(ws.failEWMA)
 	}
 	m.workersLive.Set(float64(c.liveWorkersLocked()))
+
+	m.quarantinedVec.Reset()
+	for name := range c.quarantined {
+		m.quarantinedVec.With(name).Set(1)
+	}
 
 	if c.draining {
 		m.draining.Set(1)

@@ -123,3 +123,85 @@ func TestClientDoesNotRetry4xx(t *testing.T) {
 		t.Fatalf("%d arrivals, want exactly 1 (no retries on 4xx)", len(state.arrivals))
 	}
 }
+
+// TestClientHonorsRetryAfter: a server-named pause on 429 is honored
+// exactly — the client must not jitter under it into the same closed
+// window, even when its own backoff would be tiny.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	orig := retryDelay
+	retryDelay = func(int) time.Duration { return time.Millisecond }
+	defer func() { retryDelay = orig }()
+
+	const pause = time.Second
+	state := &struct {
+		sync.Mutex
+		arrivals []time.Time
+	}{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		state.Lock()
+		state.arrivals = append(state.arrivals, time.Now())
+		n := len(state.arrivals)
+		state.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"rate limited"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"jobs":[]}`))
+	}))
+	defer srv.Close()
+
+	if _, err := ListJobs(context.Background(), nil, srv.URL); err != nil {
+		t.Fatalf("client gave up on a rate-limited server: %v", err)
+	}
+	state.Lock()
+	defer state.Unlock()
+	if len(state.arrivals) != 2 {
+		t.Fatalf("%d arrivals, want 2", len(state.arrivals))
+	}
+	if gap := state.arrivals[1].Sub(state.arrivals[0]); gap < pause {
+		t.Fatalf("retry arrived %v after the 429, want >= the server's Retry-After %v", gap, pause)
+	}
+}
+
+// TestClientRetriesChecksumReject: a 400 carrying the corrupt-body
+// marker means the request was damaged in transit — resending re-rolls
+// the dice, so it must be retried (unlike a plain 400, pinned above).
+func TestClientRetriesChecksumReject(t *testing.T) {
+	orig := retryDelay
+	retryDelay = func(int) time.Duration { return time.Millisecond }
+	defer func() { retryDelay = orig }()
+
+	state := &struct {
+		sync.Mutex
+		arrivals []time.Time
+	}{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		state.Lock()
+		state.arrivals = append(state.arrivals, time.Now())
+		n := len(state.arrivals)
+		state.Unlock()
+		if n == 1 {
+			w.Header().Set(HeaderCorruptBody, "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write([]byte(`{"error":"grid: request body checksum mismatch (corrupted in transit)"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"jobs":[]}`))
+	}))
+	defer srv.Close()
+
+	if _, err := ListJobs(context.Background(), nil, srv.URL); err != nil {
+		t.Fatalf("checksum-rejected request must be retried: %v", err)
+	}
+	state.Lock()
+	defer state.Unlock()
+	if len(state.arrivals) != 2 {
+		t.Fatalf("%d arrivals, want 2 (reject + retry)", len(state.arrivals))
+	}
+}

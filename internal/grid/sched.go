@@ -155,9 +155,10 @@ func (c *Coordinator) liveWorkersLocked() int {
 }
 
 // pickJobLocked chooses which job a pulling worker serves next: among
-// jobs with pending tasks (after lazy expiry), the one with the lowest
-// granted-per-weight ratio; ties break by job ID so the schedule is
-// deterministic. Returns nil when nothing is pending anywhere.
+// eligible jobs (pending tasks after lazy expiry, open audits, or —
+// with hedging on — a straggling lease worth racing), the one with the
+// lowest granted-per-weight ratio; ties break by job ID so the
+// schedule is deterministic. Returns nil when nothing is eligible.
 func (c *Coordinator) pickJobLocked() *gridJob {
 	var best *gridJob
 	var bestShare float64
@@ -166,10 +167,11 @@ func (c *Coordinator) pickJobLocked() *gridJob {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	now := c.now()
 	for _, id := range ids {
 		j := c.jobs[id]
 		c.expireLocked(j)
-		if !j.hasPendingLocked() {
+		if !j.hasPendingLocked() && len(j.audits) == 0 && !c.hedgeableLocked(j, now) {
 			continue
 		}
 		share := float64(j.leasesGranted) / float64(j.weight)
@@ -178,6 +180,81 @@ func (c *Coordinator) pickJobLocked() *gridJob {
 		}
 	}
 	return best
+}
+
+// --- Hedged leases ---
+
+// hedgeThresholdLocked is the straggler bar: a lease older than
+// slowFactor x the fleet-mean task-latency EWMA is worth racing,
+// floored at half the lease TTL so a fleet of fast workers does not
+// hedge everything the moment it goes idle.
+func (c *Coordinator) hedgeThresholdLocked() time.Duration {
+	floor := c.opts.leaseTTL() / 2
+	var sum float64
+	var n int
+	for _, ws := range c.workers {
+		if ws.done > 0 && ws.latEWMA > 0 {
+			sum += ws.latEWMA
+			n++
+		}
+	}
+	if n == 0 {
+		return floor
+	}
+	th := time.Duration(slowFactor * sum / float64(n) * float64(time.Second))
+	if th < floor {
+		return floor
+	}
+	return th
+}
+
+// hedgeableLocked reports whether j holds a straggling lease with no
+// hedge yet — job eligibility for the fair scheduler.
+func (c *Coordinator) hedgeableLocked(j *gridJob, now time.Time) bool {
+	if !c.opts.Hedge {
+		return false
+	}
+	th := c.hedgeThresholdLocked()
+	for _, st := range j.tasks {
+		if st.status == taskLeased && st.hedgeWorker == "" &&
+			!st.leasedAt.IsZero() && now.Sub(st.leasedAt) >= th {
+			return true
+		}
+	}
+	return false
+}
+
+// grantHedgesLocked fills up to room lease slots with speculative
+// duplicates of straggling leases. The hedge is an ordinary-looking
+// lease to its holder; first idempotent ingest wins, the loser's
+// upload is absorbed as a duplicate (or as audit evidence). Hedges are
+// deliberately excluded from the fair-share deficit — they are
+// insurance the scheduler buys, not demand the job generated.
+func (c *Coordinator) grantHedgesLocked(j *gridJob, worker string, room int, now, deadline time.Time) []LeaseTask {
+	if worker == "" || room <= 0 {
+		return nil
+	}
+	th := c.hedgeThresholdLocked()
+	var out []LeaseTask
+	for _, tid := range j.order {
+		if len(out) == room {
+			break
+		}
+		st := j.tasks[tid]
+		if st.status != taskLeased || st.worker == worker || st.hedgeWorker != "" ||
+			st.leasedAt.IsZero() || now.Sub(st.leasedAt) < th {
+			continue
+		}
+		st.hedgeWorker = worker
+		st.hedgeDeadline = deadline
+		out = append(out, LeaseTask{
+			Task: tid, Measure: st.task.Measure, Lo: st.task.Lo, Hi: st.task.Hi,
+			TTLMS: deadline.Sub(now).Milliseconds(),
+		})
+		c.metrics.leaseHedged.Inc()
+		c.walAppendLocked(false, walRecord{T: walHedge, Job: j.id, Task: tid, Worker: worker})
+	}
+	return out
 }
 
 func (j *gridJob) hasPendingLocked() bool {

@@ -300,3 +300,87 @@ func grepLines(text, substr string) string {
 	}
 	return strings.Join(out, "\n")
 }
+
+// TestTraceShipperSurvivesCoordinatorOutage: ship errors during an
+// outage lose nothing — the journal is append-only and offsets are
+// acked — and after a coordinator restart over the same directory the
+// collected copy converges byte-identical to the worker's local one.
+func TestTraceShipperSurvivesCoordinatorOutage(t *testing.T) {
+	dir := t.TempDir()
+	coord1 := NewCoordinator(CoordinatorOptions{Dir: dir})
+
+	// A front proxy with a stable URL whose backend we can kill and
+	// replace: the worker-side view of a coordinator crash + restart.
+	var mu sync.Mutex
+	var backend http.Handler = coord1.Handler()
+	down := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		h, dead := backend, down
+		mu.Unlock()
+		if dead {
+			panic(http.ErrAbortHandler) // sever the connection mid-request
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	traceDir := t.TempDir()
+	rec, err := obs.OpenDir(traceDir, "lonely")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipper := NewTraceShipper(srv.URL, rec, obs.JournalPath(traceDir, "lonely"),
+		TraceShipperOptions{ChunkBytes: 256})
+
+	ctx := context.Background()
+	rec.Start(0, "before-outage").End()
+	if err := shipper.Ship(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if shipper.Offset() == 0 {
+		t.Fatal("nothing collected before the outage")
+	}
+
+	// Coordinator dies. Spans keep landing in the local journal; ship
+	// passes fail (Run would log and retry) without losing anything.
+	mu.Lock()
+	down = true
+	mu.Unlock()
+	rec.Start(0, "during-outage").End()
+	if err := shipper.Ship(ctx); err == nil {
+		t.Fatal("ship through a dead coordinator should error")
+	}
+
+	// Restart over the same directory: the collector resumes from its
+	// on-disk copy and the shipper rewinds to the acked Have.
+	coord2 := NewCoordinator(CoordinatorOptions{Dir: dir})
+	defer coord2.Close()
+	mu.Lock()
+	backend = coord2.Handler()
+	down = false
+	mu.Unlock()
+
+	rec.Start(0, "after-restart").End()
+	if err := shipper.Ship(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := os.ReadFile(obs.JournalPath(traceDir, "lonely"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	collected, err := FetchTrace(ctx, nil, srv.URL, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(collected, local) {
+		t.Fatalf("collected journal (%d bytes) != local journal (%d bytes) after outage + restart", len(collected), len(local))
+	}
+	if !bytes.Contains(collected, []byte("during-outage")) {
+		t.Fatal("the span recorded during the outage never made it to the coordinator")
+	}
+}

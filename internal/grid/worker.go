@@ -2,6 +2,7 @@ package grid
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -57,6 +58,18 @@ type WorkerOptions struct {
 	// simulated vs cache-served, per-measure latency, upload retries) —
 	// served on dsa-grid work -metrics-addr.
 	Metrics *gridobs.WorkerMetrics
+
+	// Reconnect, when > 0, makes the worker ride out coordinator
+	// outages: instead of exiting on the first unreachable call, it
+	// keeps polling until the coordinator has been continuously
+	// unreachable for this long. This is what lets a fleet survive a
+	// coordinator kill -9 + restart without being restarted itself.
+	// Context cancellation and quarantine verdicts always exit.
+	Reconnect time.Duration
+	// Corrupt, if non-nil, transforms each computed result before
+	// upload — the chaos harness's Byzantine-worker hook (dsa-grid
+	// work -chaos-byzantine). Honest deployments leave it nil.
+	Corrupt func(t job.Task, values []float64) []float64
 }
 
 var workerSeq atomic.Int64
@@ -112,13 +125,25 @@ func Work(ctx context.Context, baseURL, jobID string, opts WorkerOptions) error 
 		return workAny(ctx, client, baseURL, name, opts, logf)
 	}
 
-	detail, err := GetJob(ctx, client, baseURL, jobID)
-	if err != nil {
-		return err
-	}
-	spec, err := job.DecodeSpec(detail.Spec)
-	if err != nil {
-		return err
+	rc := &reconnector{window: opts.Reconnect}
+	var spec job.Spec
+	for {
+		detail, err := GetJob(ctx, client, baseURL, jobID)
+		if err != nil {
+			if rc.tolerate(err) {
+				logf("worker %s: coordinator unreachable (%v), waiting to reconnect", name, err)
+				if err := sleepPoll(ctx, opts); err != nil {
+					return err
+				}
+				continue
+			}
+			return err
+		}
+		if spec, err = job.DecodeSpec(detail.Spec); err != nil {
+			return err
+		}
+		rc.ok()
+		break
 	}
 	logf("worker %s: joined job %s (%s domain, %d points)", name, jobID, spec.Domain.Name(), len(spec.Points))
 
@@ -133,8 +158,16 @@ func Work(ctx context.Context, baseURL, jobID string, opts WorkerOptions) error 
 			LeaseRequest{Worker: name, MaxTasks: opts.TasksPerLease}, &lease, &info)
 		if err != nil {
 			leaseSpan.Drop()
+			if rc.tolerate(err) {
+				logf("worker %s: coordinator unreachable (%v), waiting to reconnect", name, err)
+				if err := sleepPoll(ctx, opts); err != nil {
+					return err
+				}
+				continue
+			}
 			return err
 		}
+		rc.ok()
 		leaseSpan.Str("rid", info.requestID).Str("job", jobID).
 			Int("granted", int64(len(lease.Tasks))).End()
 		opts.Metrics.ObserveLease(len(lease.Tasks))
@@ -157,8 +190,54 @@ func Work(ctx context.Context, baseURL, jobID string, opts WorkerOptions) error 
 			continue
 		}
 		if err := runLease(ctx, client, baseURL, jobID, name, spec, lease, opts, logf); err != nil {
+			if rc.tolerate(err) {
+				// The batch's uploads died mid-outage; the leases expire
+				// and re-queue, so just go back to pulling.
+				logf("worker %s: lease batch failed (%v), waiting to reconnect", name, err)
+				if err := sleepPoll(ctx, opts); err != nil {
+					return err
+				}
+				continue
+			}
 			return err
 		}
+		rc.ok()
+	}
+}
+
+// reconnector implements WorkerOptions.Reconnect: one outage window,
+// reset by any successful call.
+type reconnector struct {
+	window time.Duration
+	since  time.Time // start of the current outage; zero = healthy
+}
+
+func (rc *reconnector) ok() { rc.since = time.Time{} }
+
+// tolerate reports whether err is worth riding out: anything transient
+// while the continuous-outage clock is inside the window. Context
+// cancellation and quarantine verdicts always surface.
+func (rc *reconnector) tolerate(err error) bool {
+	if rc.window <= 0 || err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrWorkerQuarantined) {
+		return false
+	}
+	if rc.since.IsZero() {
+		rc.since = time.Now()
+		return true
+	}
+	return time.Since(rc.since) < rc.window
+}
+
+func sleepPoll(ctx context.Context, opts WorkerOptions) error {
+	select {
+	case <-time.After(opts.poll()):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -167,6 +246,7 @@ func Work(ctx context.Context, baseURL, jobID string, opts WorkerOptions) error 
 // routes a batch from it, and keep pulling until every job is done.
 func workAny(ctx context.Context, client *http.Client, baseURL, name string, opts WorkerOptions, logf func(string, ...any)) error {
 	specs := map[string]job.Spec{}
+	rc := &reconnector{window: opts.Reconnect}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -178,8 +258,16 @@ func workAny(ctx context.Context, client *http.Client, baseURL, name string, opt
 			LeaseRequest{Worker: name, MaxTasks: opts.TasksPerLease}, &lease, &info)
 		if err != nil {
 			leaseSpan.Drop()
+			if rc.tolerate(err) {
+				logf("worker %s: coordinator unreachable (%v), waiting to reconnect", name, err)
+				if err := sleepPoll(ctx, opts); err != nil {
+					return err
+				}
+				continue
+			}
 			return err
 		}
+		rc.ok()
 		leaseSpan.Str("rid", info.requestID).Str("job", lease.Job).
 			Int("granted", int64(len(lease.Tasks))).End()
 		opts.Metrics.ObserveLease(len(lease.Tasks))
@@ -204,6 +292,13 @@ func workAny(ctx context.Context, client *http.Client, baseURL, name string, opt
 		if !ok {
 			detail, err := GetJob(ctx, client, baseURL, lease.Job)
 			if err != nil {
+				if rc.tolerate(err) {
+					logf("worker %s: coordinator unreachable (%v), waiting to reconnect", name, err)
+					if err := sleepPoll(ctx, opts); err != nil {
+						return err
+					}
+					continue
+				}
 				return err
 			}
 			if spec, err = job.DecodeSpec(detail.Spec); err != nil {
@@ -214,8 +309,16 @@ func workAny(ctx context.Context, client *http.Client, baseURL, name string, opt
 		}
 		if err := runLease(ctx, client, baseURL, lease.Job, name, spec,
 			LeaseResponse{Tasks: lease.Tasks}, opts, logf); err != nil {
+			if rc.tolerate(err) {
+				logf("worker %s: lease batch failed (%v), waiting to reconnect", name, err)
+				if err := sleepPoll(ctx, opts); err != nil {
+					return err
+				}
+				continue
+			}
 			return err
 		}
+		rc.ok()
 	}
 }
 
@@ -292,6 +395,9 @@ func runLease(ctx context.Context, client *http.Client, baseURL, jobID, name str
 		},
 	}
 	return job.ExecTasks(ctx, spec, tasks, execOpts, func(t job.Task, values []float64, elapsed time.Duration) error {
+		if opts.Corrupt != nil {
+			values = opts.Corrupt(t, values)
+		}
 		var ack ResultAck
 		var info callInfo
 		upload := opts.Trace.Start(batch.ID(), "upload").Str("task", t.ID())

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"slices"
@@ -15,6 +16,62 @@ import (
 	"repro/internal/core"
 	"repro/internal/dsa"
 )
+
+// WriteError is the typed failure of a durable write (checkpoint
+// manifest append, atomic result file, grid WAL append): it names the
+// file and the byte offset of the first unwritten byte, so disk-full
+// and short-write conditions are actionable from a log line instead of
+// a generic wrap. Unwrap exposes the cause (syscall.ENOSPC,
+// io.ErrShortWrite, ...) for errors.Is.
+type WriteError struct {
+	Path string // file being written
+	Off  int64  // offset of the first byte NOT durably written
+	Op   string // what was being attempted ("append manifest", "sync wal", ...)
+	Err  error
+}
+
+func (e *WriteError) Error() string {
+	return fmt.Sprintf("job: %s %s at offset %d: %v", e.Op, e.Path, e.Off, e.Err)
+}
+
+func (e *WriteError) Unwrap() error { return e.Err }
+
+// The writer seam lets the chaos harness (internal/chaos.FileFaults)
+// interpose failing writers on every durable append — checkpoint
+// manifests, atomic result files, and the grid coordinator's WAL —
+// without the production code knowing. nil seam = writes untouched.
+var (
+	seamMu sync.RWMutex
+	seamFn func(path string, w io.Writer) io.Writer
+)
+
+// SetWriterSeam installs fn as the durable-write interposer and
+// returns a restore func. Tests install fault schedules here; passing
+// nil removes the seam.
+func SetWriterSeam(fn func(path string, w io.Writer) io.Writer) (restore func()) {
+	seamMu.Lock()
+	prev := seamFn
+	seamFn = fn
+	seamMu.Unlock()
+	return func() {
+		seamMu.Lock()
+		seamFn = prev
+		seamMu.Unlock()
+	}
+}
+
+// WrapWriter routes one durable write for path through the installed
+// seam. Exported so the grid WAL (internal/grid) shares the same
+// fault-injection point as the checkpoint writers.
+func WrapWriter(path string, w io.Writer) io.Writer {
+	seamMu.RLock()
+	fn := seamFn
+	seamMu.RUnlock()
+	if fn == nil {
+		return w
+	}
+	return fn(path, w)
+}
 
 // Checkpoint layout under one directory:
 //
@@ -175,10 +232,12 @@ type resultFile struct {
 
 // checkpoint is one process's open handle on a checkpoint directory.
 type checkpoint struct {
-	dir       string
-	mu        sync.Mutex
-	manifest  *os.File
-	completed map[string][]float64 // restored at open
+	dir          string
+	mu           sync.Mutex
+	manifest     *os.File
+	manifestPath string
+	off          int64                // durable end of the manifest (bytes)
+	completed    map[string][]float64 // restored at open
 }
 
 // openCheckpoint prepares dir for (spec, shard shardIndex of shards):
@@ -232,11 +291,17 @@ func openCheckpointNamed(dir string, spec Spec, manifestName string) (*checkpoin
 	if err != nil {
 		return nil, err
 	}
-	mf, err := os.OpenFile(filepath.Join(dir, manifestName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	mfPath := filepath.Join(dir, manifestName)
+	mf, err := os.OpenFile(mfPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("job: open manifest: %w", err)
 	}
-	return &checkpoint{dir: dir, manifest: mf, completed: completed}, nil
+	st, err := mf.Stat()
+	if err != nil {
+		mf.Close()
+		return nil, fmt.Errorf("job: stat manifest: %w", err)
+	}
+	return &checkpoint{dir: dir, manifest: mf, manifestPath: mfPath, off: st.Size(), completed: completed}, nil
 }
 
 // Checkpoint is an exported handle on a checkpoint directory for
@@ -273,6 +338,26 @@ func (c *Checkpoint) Record(t Task, values []float64, elapsed time.Duration) err
 // Close closes the manifest. Record must not be called after Close.
 func (c *Checkpoint) Close() error { return c.cp.close() }
 
+// Invalidate durably un-records a task: it removes the result file the
+// manifest entries point at, so every restore skips the task and it
+// re-runs. The coordinator's audit layer uses this to expunge results
+// produced by a quarantined worker; a crash between Invalidate and the
+// in-memory re-queue is safe because the on-disk state already says
+// "never completed". Re-recording the task later (Record) writes a
+// fresh result file under the same name, which the earliest manifest
+// entry then resolves to — first-entry-wins reads the file, not the
+// line.
+func (c *Checkpoint) Invalidate(t Task) error {
+	path := filepath.Join(c.cp.dir, "task-"+t.ID()+".json")
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("job: invalidate %s: %w", path, err)
+	}
+	if err := syncDir(c.cp.dir); err != nil {
+		return fmt.Errorf("job: invalidate %s: %w", path, err)
+	}
+	return nil
+}
+
 // record persists one finished task: the result file first (atomic
 // rename), then the manifest line that makes it count, synced so a
 // crash right after record loses nothing.
@@ -285,11 +370,21 @@ func (c *checkpoint) record(t Task, values []float64, elapsed time.Duration) err
 	line := append(mustJSON(manifestEntry{Task: t.ID(), File: name, ElapsedMS: elapsed.Milliseconds()}), '\n')
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := c.manifest.Write(line); err != nil {
-		return fmt.Errorf("job: append manifest: %w", err)
+	n, err := WrapWriter(c.manifestPath, c.manifest).Write(line)
+	if err == nil && n < len(line) {
+		err = io.ErrShortWrite
 	}
+	if err != nil {
+		// Trim the torn tail so the next append (O_APPEND, so it
+		// lands at the new end) starts on a clean line; if the
+		// truncate itself fails the torn bytes stay and
+		// readCompleted's torn-line tolerance bounds the damage.
+		c.manifest.Truncate(c.off)
+		return &WriteError{Path: c.manifestPath, Off: c.off + int64(n), Op: "append manifest", Err: err}
+	}
+	c.off += int64(n)
 	if err := c.manifest.Sync(); err != nil {
-		return fmt.Errorf("job: sync manifest: %w", err)
+		return &WriteError{Path: c.manifestPath, Off: c.off, Op: "sync manifest", Err: err}
 	}
 	return nil
 }
@@ -396,26 +491,38 @@ func writeFileAtomic(path string, data []byte) error {
 		return fmt.Errorf("job: write %s: %w", path, err)
 	}
 	tmp := f.Name()
-	_, werr := f.Write(data)
+	n, werr := WrapWriter(path, f).Write(data)
+	if werr == nil && n < len(data) {
+		werr = io.ErrShortWrite
+	}
+	op := "write"
 	if werr == nil {
-		werr = f.Sync()
+		if werr = f.Sync(); werr != nil {
+			op, n = "sync", len(data)
+		}
 	}
 	cerr := f.Close()
-	if werr == nil {
-		werr = cerr
+	if werr == nil && cerr != nil {
+		werr, op, n = cerr, "close", len(data)
 	}
 	if werr == nil {
-		werr = os.Chmod(tmp, 0o644)
+		if werr = os.Chmod(tmp, 0o644); werr != nil {
+			op, n = "chmod", len(data)
+		}
 	}
 	if werr == nil {
-		werr = os.Rename(tmp, path)
+		if werr = os.Rename(tmp, path); werr != nil {
+			op, n = "rename", len(data)
+		}
 	}
 	if werr == nil {
-		werr = syncDir(filepath.Dir(path))
+		if werr = syncDir(filepath.Dir(path)); werr != nil {
+			op, n = "sync dir of", len(data)
+		}
 	}
 	if werr != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("job: write %s: %w", path, werr)
+		return &WriteError{Path: path, Off: int64(n), Op: op, Err: werr}
 	}
 	return nil
 }
